@@ -1,0 +1,97 @@
+package varsim
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// runs the scaled (quick) version of the corresponding experiment end to
+// end — workload generation, full-system simulation of every run in the
+// sample space, and the statistical analysis — so `go test -bench=.`
+// regenerates every result and reports how long each costs.
+//
+// The full-scale versions (16 CPUs, 20 runs per configuration, paper run
+// lengths) are produced by `go run ./cmd/experiments all`.
+
+import (
+	"io"
+	"testing"
+
+	"varsim/internal/harness"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := harness.New(harness.Options{Out: io.Discard, Seed: 0xA1A3, Quick: true})
+		e, ok := harness.Find(name)
+		if !ok {
+			b.Fatalf("unknown experiment %s", name)
+		}
+		if err := e.Run(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1SchedDivergence(b *testing.B)      { benchExperiment(b, "fig1") }
+func BenchmarkFig2TimeVariabilityReal(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3SpaceVariabilityReal(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig4DRAMSweep(b *testing.B)            { benchExperiment(b, "fig4") }
+func BenchmarkTable1CacheWCR(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkTable2ROBWCR(b *testing.B)             { benchExperiment(b, "table2") }
+func BenchmarkTable3Benchmarks(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkTable4RunLengths(b *testing.B)         { benchExperiment(b, "table4") }
+func BenchmarkFig8LongRunPhases(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9Checkpoints(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10ConfidenceIntervals(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11TTestRegions(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkTable5RunsNeeded(b *testing.B)         { benchExperiment(b, "table5") }
+func BenchmarkPerturbSensitivity(b *testing.B)       { benchExperiment(b, "perturb") }
+func BenchmarkANOVA(b *testing.B)                    { benchExperiment(b, "anova") }
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// nanoseconds and retired instructions per host second for the default
+// OLTP configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 8
+	wl, err := NewWorkload("oltp", cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(cfg, wl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs int64
+	var simNS int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instrs
+		simNS += res.ElapsedNS
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+	b.ReportMetric(float64(simNS)/float64(b.N), "simNS/op")
+}
+
+// BenchmarkSnapshot measures checkpoint cost (deep copy of the entire
+// machine state).
+func BenchmarkSnapshot(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 8
+	wl, _ := NewWorkload("oltp", cfg, 1)
+	m, _ := NewMachine(cfg, wl, 1)
+	if _, err := m.Run(100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Snapshot()
+		_ = s
+	}
+}
+
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+func BenchmarkCharacterize(b *testing.B) { benchExperiment(b, "characterize") }

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-list] <experiment>... | all
+//
+// Each experiment prints the same rows/series the paper reports (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results). The full versions keep the paper's
+// structure — 16 processors, 20 runs per configuration; -quick scales
+// them down for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"varsim/internal/harness"
+	"varsim/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down smoke versions of the experiments")
+	seed := flag.Uint64("seed", 0xA1A3, "workload identity seed (the shared initial conditions)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	csvDir := flag.String("csv", "", "also export every table as CSV into this directory")
+	jsonOut := flag.String("json", "", "also export every table as JSON to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-seed N] <experiment>... | all\n\nexperiments:\n", os.Args[0])
+		for _, e := range harness.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Title)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var collector *report.Collector
+	if *csvDir != "" || *jsonOut != "" {
+		collector = report.NewCollector()
+	}
+	h := harness.New(harness.Options{Out: os.Stdout, Seed: *seed, Quick: *quick, Report: collector})
+	run := func(e harness.Experiment) {
+		start := time.Now()
+		if err := h.RunOne(e); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s finished in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	for _, name := range args {
+		if name == "all" {
+			for _, e := range harness.Experiments() {
+				run(e)
+			}
+			continue
+		}
+		e, ok := harness.Find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		run(e)
+	}
+
+	if collector != nil {
+		if *csvDir != "" {
+			files, err := collector.WriteCSVDir(*csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d CSV files to %s\n", len(files), *csvDir)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = collector.WriteJSON(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "json export: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote JSON tables to %s\n", *jsonOut)
+		}
+	}
+}

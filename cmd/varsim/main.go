@@ -1,0 +1,136 @@
+// Command varsim runs a single simulation (or a multi-run space) of one
+// workload on one configuration and prints the measurement — the
+// low-level tool behind the experiment harness.
+//
+// Usage examples:
+//
+//	varsim -workload oltp -txns 200 -warmup 500
+//	varsim -workload specjbb -cpus 8 -runs 20 -txns 500
+//	varsim -workload oltp -proc ooo -rob 32 -runs 10 -txns 200
+//	varsim -workload oltp -txns 100 -sched-trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"varsim"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "oltp", "workload: "+strings.Join(varsim.Workloads(), ", "))
+		cpus    = flag.Int("cpus", 16, "number of processors")
+		txns    = flag.Int64("txns", 200, "transactions to measure")
+		warmup  = flag.Int64("warmup", 500, "transactions to run before measuring")
+		runs    = flag.Int("runs", 1, "perturbed runs branched from the warmed checkpoint")
+		seed    = flag.Uint64("seed", 1, "workload identity seed")
+		pseed   = flag.Uint64("perturb-seed", 1, "perturbation seed base")
+		perturb = flag.Int64("perturb", 4, "max perturbation per L2 miss (ns); 0 disables")
+		proc    = flag.String("proc", "simple", "processor model: simple or ooo")
+		rob     = flag.Int("rob", 64, "reorder buffer entries (ooo model)")
+		assoc   = flag.Int("l2assoc", 4, "L2 associativity (1 = direct-mapped)")
+		dram    = flag.Int64("dram", 80, "DRAM access latency (ns)")
+		schedTr = flag.Bool("sched-trace", false, "print the scheduling-event trace")
+		lockRep = flag.Bool("lock-report", false, "print the lock contention report")
+		saveRcp = flag.String("save-recipe", "", "write the warmed checkpoint's recipe to this file")
+		fromRcp = flag.String("from-recipe", "", "start from a checkpoint recipe instead of flags")
+	)
+	flag.Parse()
+
+	cfg := varsim.DefaultConfig()
+	cfg.NumCPUs = *cpus
+	cfg.PerturbMaxNS = *perturb
+	cfg.L2.Assoc = *assoc
+	cfg.MemSupplyNS = *dram
+	switch *proc {
+	case "simple":
+		cfg.Processor = varsim.SimpleProc
+	case "ooo":
+		cfg.Processor = varsim.OOOProc
+		cfg.OOO.ROBEntries = *rob
+	default:
+		fmt.Fprintf(os.Stderr, "unknown processor model %q\n", *proc)
+		os.Exit(2)
+	}
+
+	e := varsim.Experiment{
+		Label:        fmt.Sprintf("%s/%s", *wlName, *proc),
+		Config:       cfg,
+		Workload:     *wlName,
+		WorkloadSeed: *seed,
+		WarmupTxns:   *warmup,
+		MeasureTxns:  *txns,
+		Runs:         *runs,
+		SeedBase:     *pseed,
+	}
+
+	if *schedTr || *lockRep {
+		wl, err := varsim.NewWorkload(*wlName, cfg, *seed)
+		fail(err)
+		m, err := varsim.NewMachine(cfg, wl, *pseed)
+		fail(err)
+		m.EnableSchedTrace()
+		m.EnableTrace(0)
+		res, err := m.Run(*warmup + *txns)
+		fail(err)
+		if *schedTr {
+			for _, ev := range m.SchedTrace() {
+				fmt.Printf("%12d ns  cpu%-3d thread %d\n", ev.TimeNS, ev.CPU, ev.Thread)
+			}
+		}
+		if *lockRep {
+			fmt.Print(varsim.FormatLockReport(varsim.LockReport(m.Trace().Events()), 20))
+		}
+		printResult(res)
+		return
+	}
+
+	var base *varsim.Machine
+	if *fromRcp != "" {
+		rcp, err := varsim.LoadRecipe(*fromRcp)
+		fail(err)
+		base, err = rcp.Build()
+		fail(err)
+		e.MeasureTxns = *txns
+	} else {
+		var err error
+		base, err = e.Prepare()
+		fail(err)
+	}
+	if *saveRcp != "" {
+		fail(varsim.SaveRecipe(*saveRcp, varsim.RecipeFromExperiment(e)))
+		fmt.Printf("checkpoint recipe written to %s\n", *saveRcp)
+	}
+	sp, err := varsim.BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase)
+	fail(err)
+	for i, r := range sp.Results {
+		fmt.Printf("run %2d: ", i)
+		printResult(r)
+	}
+	if len(sp.Values) > 1 {
+		s := varsim.Summarize(sp.Values)
+		fmt.Printf("\nspace of %d runs: mean CPT %.1f  sigma %.1f  min %.1f  max %.1f  CoV %.2f%%  range %.2f%%\n",
+			s.N, s.Mean, s.StdDev, s.Min, s.Max, s.CoV, s.RangePct)
+		if ci, err := varsim.CI(sp.Values, 0.95); err == nil {
+			fmt.Printf("95%% confidence interval for the mean: [%.1f, %.1f]\n", ci.Lo, ci.Hi)
+		}
+	}
+}
+
+func printResult(r varsim.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\t%d txns\t%.1f cycles/txn\t%d instrs\tL2 misses %d\tc2c %d\tctx %d\tlock waits %d\n",
+		r.Workload, r.Txns, r.CPT, r.Instrs, r.L2Misses, r.CacheToCache, r.CtxSwitches, r.LockContentions)
+	w.Flush()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module varsim
+
+go 1.22

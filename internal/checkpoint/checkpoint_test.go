@@ -1,0 +1,171 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"varsim/internal/config"
+	"varsim/internal/core"
+)
+
+func testRecipe() Recipe {
+	cfg := config.Default()
+	cfg.NumCPUs = 4
+	return Recipe{
+		Config:       cfg,
+		Workload:     "oltp",
+		WorkloadSeed: 7,
+		PerturbSeed:  3,
+		WarmupTxns:   25,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, testRecipe()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"workload\": \"oltp\"") {
+		t.Fatalf("unexpected encoding:\n%s", buf.String())
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != testRecipe() {
+		t.Fatalf("round trip changed recipe:\n%+v\n%+v", got, testRecipe())
+	}
+}
+
+func TestBuildReplaysDeterministically(t *testing.T) {
+	r := testRecipe()
+	m1, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Now() != m2.Now() || m1.TxnsDone() != m2.TxnsDone() {
+		t.Fatalf("replay mismatch: t=%d/%d txns=%d/%d", m1.Now(), m2.Now(), m1.TxnsDone(), m2.TxnsDone())
+	}
+	if m1.TxnsDone() < r.WarmupTxns {
+		t.Fatalf("warmup incomplete: %d", m1.TxnsDone())
+	}
+	// The rebuilt checkpoints must behave identically going forward.
+	r1, err := m1.Run(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.Run(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("rebuilt checkpoints diverged:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestBuildMatchesLiveSnapshotBehaviour(t *testing.T) {
+	// A rebuilt checkpoint and the machine it describes must produce the
+	// same measurements.
+	r := testRecipe()
+	live, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLive, err := live.Snapshot().Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRebuilt, err := rebuilt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLive != resRebuilt {
+		t.Fatalf("rebuild != snapshot:\n%+v\n%+v", resLive, resRebuilt)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := SaveFile(path, testRecipe()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != testRecipe() {
+		t.Fatal("file round trip changed recipe")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := testRecipe()
+	r.Workload = ""
+	if r.Validate() == nil {
+		t.Error("empty workload accepted")
+	}
+	r = testRecipe()
+	r.WarmupTxns = -1
+	if r.Validate() == nil {
+		t.Error("negative warmup accepted")
+	}
+	r = testRecipe()
+	r.Config.NumCPUs = 0
+	if r.Validate() == nil {
+		t.Error("bad config accepted")
+	}
+	r = testRecipe()
+	r.Workload = "nosuch"
+	if _, err := r.Build(); err == nil {
+		t.Error("unknown workload built")
+	}
+	// Unknown JSON fields are rejected (catches stale recipe files).
+	if _, err := Load(strings.NewReader(`{"workload":"oltp","bogus":1}`)); err == nil {
+		t.Error("unknown fields accepted")
+	}
+	// Invalid decoded recipes are rejected.
+	if _, err := Load(strings.NewReader(`{"workload":""}`)); err == nil {
+		t.Error("invalid recipe accepted")
+	}
+}
+
+func TestFromExperimentMatchesPrepare(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCPUs = 4
+	e := core.Experiment{
+		Label: "x", Config: cfg, Workload: "oltp",
+		WorkloadSeed: 5, WarmupTxns: 20, MeasureTxns: 10, Runs: 1, SeedBase: 9,
+	}
+	prepared, err := e.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := FromExperiment(e).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := prepared.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rebuilt.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("recipe does not reproduce Prepare's checkpoint:\n%+v\n%+v", r1, r2)
+	}
+}

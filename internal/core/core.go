@@ -1,0 +1,320 @@
+// Package core implements the paper's primary contribution: the
+// statistical simulation methodology of §4–§5.
+//
+// The method: run each (configuration, workload) pair many times from
+// the same initial conditions, each run with a unique pseudo-random
+// perturbation seed; treat the runs as a sample from the space of
+// possible executions; and use standard statistics — the Wrong
+// Conclusion Ratio as a diagnostic, confidence intervals and hypothesis
+// tests as decision procedures, ANOVA to weigh time against space
+// variability, and sample-size estimation to plan experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"varsim/internal/config"
+	"varsim/internal/machine"
+	"varsim/internal/rng"
+	"varsim/internal/stats"
+	"varsim/internal/workloads"
+)
+
+// Space is a sample of performance estimates (cycles per transaction)
+// from multiple perturbed runs of one configuration — an empirical slice
+// of the space of possible executions.
+type Space struct {
+	Label   string
+	Values  []float64
+	Results []machine.Result
+}
+
+// Summary returns descriptive statistics of the space.
+func (s Space) Summary() stats.Summary { return stats.Summarize(s.Values) }
+
+// CI returns the confidence interval for the space's mean.
+func (s Space) CI(confidence float64) (stats.ConfidenceInterval, error) {
+	return stats.CI(s.Values, confidence)
+}
+
+// WCR computes the Wrong Conclusion Ratio of §4.1: the fraction of all
+// single-run comparison pairs (one run from each configuration) whose
+// conclusion contradicts the relationship between the configurations'
+// true (sample-mean) performance. slow and fast are runtimes (cycles per
+// transaction) of the two configurations; the "correct" conclusion is
+// whichever direction the two means exhibit.
+func WCR(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	meanDiff := stats.Mean(a) - stats.Mean(b)
+	if meanDiff == 0 {
+		return 0
+	}
+	wrong := 0
+	for _, x := range a {
+		for _, y := range b {
+			d := x - y
+			if d != 0 && (d > 0) != (meanDiff > 0) {
+				wrong++
+			}
+		}
+	}
+	return float64(wrong) / float64(len(a)*len(b))
+}
+
+// Comparison is the full statistical comparison of two configurations.
+type Comparison struct {
+	Slower, Faster   Space // ordered by sample mean (Slower has higher CPT)
+	MeanDiffPct      float64
+	WCRPct           float64
+	TTest            stats.TTestResult
+	CISlower, CIFast stats.ConfidenceInterval
+	CIsOverlap       bool
+}
+
+// Conclusion renders the comparison verdict at significance level alpha.
+func (c Comparison) Conclusion(alpha float64) string {
+	if c.TTest.Reject(alpha) {
+		return fmt.Sprintf("%s outperforms %s (p=%.4f < %.3f)",
+			c.Faster.Label, c.Slower.Label, c.TTest.P, alpha)
+	}
+	return fmt.Sprintf("no significant difference between %s and %s (p=%.4f >= %.3f)",
+		c.Faster.Label, c.Slower.Label, c.TTest.P, alpha)
+}
+
+// Compare runs the §5.1 procedures on two spaces.
+func Compare(a, b Space, confidence float64) (Comparison, error) {
+	if len(a.Values) < 2 || len(b.Values) < 2 {
+		return Comparison{}, stats.ErrInsufficientData
+	}
+	slower, faster := a, b
+	if stats.Mean(a.Values) < stats.Mean(b.Values) {
+		slower, faster = b, a
+	}
+	ms, mf := stats.Mean(slower.Values), stats.Mean(faster.Values)
+	var tt stats.TTestResult
+	var err error
+	if len(slower.Values) == len(faster.Values) {
+		tt, err = stats.TTestOneSided(slower.Values, faster.Values)
+	} else {
+		tt, err = stats.WelchTTest(slower.Values, faster.Values)
+	}
+	if err != nil {
+		return Comparison{}, err
+	}
+	cis, err := stats.CI(slower.Values, confidence)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cif, err := stats.CI(faster.Values, confidence)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Slower: slower, Faster: faster,
+		MeanDiffPct: 100 * (ms - mf) / mf,
+		WCRPct:      100 * WCR(slower.Values, faster.Values),
+		TTest:       tt,
+		CISlower:    cis, CIFast: cif,
+		CIsOverlap: cis.Overlaps(cif),
+	}, nil
+}
+
+// Experiment describes one simulation experiment: a configuration, a
+// workload, how long to warm up, how much to measure, and how many
+// perturbed runs to sample.
+type Experiment struct {
+	Label        string
+	Config       config.Config
+	Workload     string
+	WorkloadSeed uint64 // the shared initial conditions ("checkpoint identity")
+	WarmupTxns   int64  // transactions executed before the checkpoint is taken
+	MeasureTxns  int64  // transactions per measured run
+	Runs         int
+	SeedBase     uint64 // perturbation seeds are derived from this
+}
+
+// Validate checks the experiment definition.
+func (e Experiment) Validate() error {
+	if e.Runs <= 0 {
+		return errors.New("core: experiment needs at least one run")
+	}
+	if e.MeasureTxns <= 0 {
+		return errors.New("core: experiment needs a positive measurement length")
+	}
+	if e.WarmupTxns < 0 {
+		return errors.New("core: negative warmup")
+	}
+	return e.Config.Validate()
+}
+
+// Prepare builds the experiment's machine, runs the warmup, and returns
+// the warmed machine — the paper's "checkpoint" from which all runs
+// start (§3.2.2).
+func (e Experiment) Prepare() (*machine.Machine, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	wl, err := workloads.New(e.Workload, e.Config, e.WorkloadSeed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(e.Config, wl, rng.Derive(e.SeedBase, 0))
+	if err != nil {
+		return nil, err
+	}
+	if e.WarmupTxns > 0 {
+		if _, err := m.Run(e.WarmupTxns); err != nil {
+			return nil, fmt.Errorf("core: warmup: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// RunSpace performs the experiment: it warms up once, snapshots, and
+// branches Runs perturbed futures — exactly the paper's multiple-runs
+// methodology (§3.3, §5.1).
+func (e Experiment) RunSpace() (Space, error) {
+	base, err := e.Prepare()
+	if err != nil {
+		return Space{}, err
+	}
+	return BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase)
+}
+
+// BranchSpace branches n perturbed measurement runs of measureTxns
+// transactions each from the given checkpoint machine.
+func BranchSpace(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64) (Space, error) {
+	sp := Space{Label: label}
+	for i := 0; i < n; i++ {
+		m := checkpoint.Snapshot()
+		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
+		res, err := m.Run(measureTxns)
+		if err != nil {
+			return Space{}, fmt.Errorf("core: run %d: %w", i, err)
+		}
+		sp.Values = append(sp.Values, res.CPT)
+		sp.Results = append(sp.Results, res)
+	}
+	return sp, nil
+}
+
+// TimeSample implements §5.2's systematic sampling of a workload's
+// lifetime: it warms the workload to each checkpoint in turn (the
+// checkpoints slice holds cumulative transaction counts, ascending) and
+// branches a space of runs from each. The returned spaces feed ANOVA to
+// decide whether time variability is significant.
+func (e Experiment) TimeSample(checkpoints []int64) ([]Space, error) {
+	if len(checkpoints) == 0 {
+		return nil, errors.New("core: no checkpoints")
+	}
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			return nil, errors.New("core: checkpoints must be ascending")
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	wl, err := workloads.New(e.Workload, e.Config, e.WorkloadSeed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(e.Config, wl, rng.Derive(e.SeedBase, 0))
+	if err != nil {
+		return nil, err
+	}
+	var spaces []Space
+	done := int64(0)
+	for ci, ck := range checkpoints {
+		if ck > done {
+			if _, err := m.Run(ck - done); err != nil {
+				return nil, fmt.Errorf("core: warmup to checkpoint %d: %w", ck, err)
+			}
+			done = ck
+		}
+		sp, err := BranchSpace(m, fmt.Sprintf("%s@%d", e.Label, ck), e.Runs, e.MeasureTxns, rng.Derive(e.SeedBase, 0x100+uint64(ci)))
+		if err != nil {
+			return nil, err
+		}
+		spaces = append(spaces, sp)
+	}
+	return spaces, nil
+}
+
+// RandomCheckpoints draws n checkpoint positions uniformly from
+// (0, lifetime] and returns them sorted — the "sampling techniques other
+// than systematic sampling" the paper leaves as future work (§5.2).
+// Deterministic in seed.
+func RandomCheckpoints(n int, lifetime int64, seed uint64) []int64 {
+	if n <= 0 || lifetime <= 0 {
+		return nil
+	}
+	r := rng.New(seed)
+	set := make(map[int64]bool, n)
+	for len(set) < n {
+		ck := 1 + r.Int63n(lifetime)
+		set[ck] = true
+	}
+	out := make([]int64, 0, n)
+	for ck := range set {
+		out = append(out, ck)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SystematicCheckpoints returns n checkpoints at fixed intervals through
+// the lifetime — the paper's systematic sampling (§5.2).
+func SystematicCheckpoints(n int, lifetime int64) []int64 {
+	if n <= 0 || lifetime <= 0 {
+		return nil
+	}
+	out := make([]int64, 0, n)
+	for i := int64(1); i <= int64(n); i++ {
+		out = append(out, i*lifetime/int64(n))
+	}
+	return out
+}
+
+// ANOVAOverCheckpoints runs one-way ANOVA with checkpoints as groups:
+// a significant result means time variability cannot be attributed to
+// space variability, so experiments must sample multiple starting points
+// (§5.2).
+func ANOVAOverCheckpoints(spaces []Space) (stats.ANOVAResult, error) {
+	groups := make([][]float64, len(spaces))
+	for i, s := range spaces {
+		groups[i] = s.Values
+	}
+	return stats.OneWayANOVA(groups)
+}
+
+// PlanRuns estimates the number of runs needed for the experiment's
+// conclusions, given pilot data: the relative-error form of §5.1.1 and
+// the hypothesis-test form of §5.1.2.
+type Plan struct {
+	ByRelativeError int // runs for relative error r at the confidence level
+	ByHypothesis    int // runs for one-sided significance between two pilots
+}
+
+// PlanRuns sizes an experiment from pilot spaces of the two
+// configurations to compare. relErr is the tolerated relative error of
+// the mean (e.g. 0.04); alpha the tolerated wrong-conclusion
+// probability.
+func PlanRuns(pilotA, pilotB Space, relErr, alpha float64) Plan {
+	covFrac := stats.CoV(pilotA.Values) / 100
+	p := Plan{
+		ByRelativeError: stats.SampleSizeRelErr(covFrac, relErr, 1-alpha),
+	}
+	ma, mb := stats.Mean(pilotA.Values), stats.Mean(pilotB.Values)
+	slow, fast := ma, mb
+	if slow < fast {
+		slow, fast = fast, slow
+	}
+	sd := (stats.StdDev(pilotA.Values) + stats.StdDev(pilotB.Values)) / 2
+	p.ByHypothesis = stats.MinRunsProjected(slow, fast, sd, alpha)
+	return p
+}

@@ -1,0 +1,264 @@
+// Package harness implements the paper's experiments: one entry per
+// table and figure of the evaluation (plus the §3.3 perturbation
+// sensitivity study and the §5.2 ANOVA study), each rendering the same
+// rows/series the paper reports.
+//
+// Experiments share expensive simulation products (e.g. the ROB spaces
+// feed Table 2, Figures 10 and 11, and Table 5) through an internal
+// cache, so `all` runs each simulation once.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"varsim/internal/config"
+	"varsim/internal/core"
+	"varsim/internal/report"
+	"varsim/internal/rng"
+)
+
+// Options configures a harness run.
+type Options struct {
+	Out  io.Writer
+	Seed uint64 // workload identity seed shared by all experiments
+	// Quick scales run counts and lengths down for smoke tests and
+	// benchmarks; Full keeps the paper's experiment structure (20 runs
+	// per configuration, paper run lengths, 16 CPUs).
+	Quick bool
+	// Report, when non-nil, captures every printed table in structured
+	// form for CSV/JSON export.
+	Report *report.Collector
+}
+
+// H executes experiments.
+type H struct {
+	opt     Options
+	current string // experiment currently running (for table capture)
+
+	// Cached simulation products.
+	robSpacesCache   map[int]core.Space
+	assocSpacesCache map[int]core.Space
+	fig9Cache        map[string]fig9Data
+}
+
+type fig9Data struct {
+	checkpoints []int64
+	spaces      []core.Space
+}
+
+// New builds a harness.
+func New(opt Options) *H {
+	if opt.Out == nil {
+		panic("harness: Options.Out is required")
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 0xA1A3 // default workload identity
+	}
+	return &H{
+		opt:              opt,
+		robSpacesCache:   map[int]core.Space{},
+		assocSpacesCache: map[int]core.Space{},
+		fig9Cache:        map[string]fig9Data{},
+	}
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(*H) error
+}
+
+// Experiments lists all experiments in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: OS-scheduled threads in two runs (2-way vs 4-way L2)", (*H).Fig1SchedulerDivergence},
+		{"fig2", "Figure 2: OLTP time variability, real-system mode, 3 interval sizes", (*H).Fig2TimeVariabilityReal},
+		{"fig3", "Figure 3: OLTP space variability, real-system mode, five runs", (*H).Fig3SpaceVariabilityReal},
+		{"fig4", "Figure 4: 500-transaction OLTP runs vs DRAM latency 80-90 ns", (*H).Fig4DRAMSweep},
+		{"table1", "Table 1 + Figure 5: L2 associativity experiment and WCR", (*H).Table1CacheAssoc},
+		{"table2", "Table 2 + Figure 6: reorder-buffer experiment and WCR", (*H).Table2ROB},
+		{"table3", "Table 3 + Figure 7: space variability across seven benchmarks", (*H).Table3Benchmarks},
+		{"table4", "Table 4: OLTP space variability vs run length", (*H).Table4RunLengths},
+		{"fig8", "Figure 8: time variability across phases of long OLTP runs", (*H).Fig8LongRunPhases},
+		{"fig9", "Figure 9: performance from multiple starting checkpoints", (*H).Fig9Checkpoints},
+		{"fig10", "Figure 10: 95% confidence intervals vs sample size (ROB 32 vs 64)", (*H).Fig10ConfidenceIntervals},
+		{"fig11", "Figure 11: t-test acceptance/rejection regions (ROB 32 vs 64)", (*H).Fig11TTestRegions},
+		{"table5", "Table 5: runs needed per significance level", (*H).Table5RunsNeeded},
+		{"perturb", "Sec 3.3: perturbation-magnitude sensitivity (0-1 vs 0-4 ns)", (*H).PerturbSensitivity},
+		{"anova", "Sec 5.2: ANOVA of time vs space variability", (*H).ANOVAStudy},
+		{"ablations", "Extensions: perturbation site, MESI vs MOSI, snoop occupancy, checkpoint sampling, normality", (*H).Ablations},
+		{"characterize", "Workload characterization: memory, sharing, OS and lock behaviour per benchmark", (*H).Characterize},
+	}
+}
+
+// Find returns the experiment with the given name.
+func Find(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// All runs every experiment in order.
+func (h *H) All() error {
+	for _, e := range Experiments() {
+		if err := h.RunOne(e); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// RunOne runs a single experiment with its banner.
+func (h *H) RunOne(e Experiment) error {
+	h.current = e.Name
+	fmt.Fprintf(h.opt.Out, "\n=== %s — %s ===\n", e.Name, e.Title)
+	return e.Run(h)
+}
+
+// ---- Sizing helpers -------------------------------------------------
+
+func (h *H) cpus() int {
+	if h.opt.Quick {
+		return 8
+	}
+	return 16
+}
+
+func (h *H) runs() int {
+	if h.opt.Quick {
+		return 6
+	}
+	return 20 // the paper's sample size
+}
+
+func (h *H) scaleTxns(n int64) int64 {
+	if h.opt.Quick {
+		n /= 5
+		if n < 5 {
+			n = 5
+		}
+	}
+	return n
+}
+
+func (h *H) baseConfig() config.Config {
+	cfg := config.Default()
+	cfg.NumCPUs = h.cpus()
+	return cfg
+}
+
+func (h *H) experiment(label string, cfg config.Config, wl string, warmup, measure int64, salt uint64) core.Experiment {
+	return core.Experiment{
+		Label:        label,
+		Config:       cfg,
+		Workload:     wl,
+		WorkloadSeed: h.opt.Seed,
+		WarmupTxns:   h.scaleTxns(warmup),
+		MeasureTxns:  h.scaleTxns(measure),
+		Runs:         h.runs(),
+		SeedBase:     rng.Derive(h.opt.Seed, salt),
+	}
+}
+
+// ---- Shared spaces --------------------------------------------------
+
+// assocSpaces runs (or returns cached) Experiment 1 spaces: L2
+// associativity 1/2/4, 20 x 200-transaction OLTP runs, simple processor.
+func (h *H) assocSpaces() (map[int]core.Space, error) {
+	if len(h.assocSpacesCache) > 0 {
+		return h.assocSpacesCache, nil
+	}
+	for _, assoc := range []int{1, 2, 4} {
+		cfg := h.baseConfig()
+		cfg.L2.Assoc = assoc
+		e := h.experiment(fmt.Sprintf("%d-way", assoc), cfg, "oltp", 500, 200, 0x11+uint64(assoc))
+		sp, err := e.RunSpace()
+		if err != nil {
+			return nil, err
+		}
+		h.assocSpacesCache[assoc] = sp
+	}
+	return h.assocSpacesCache, nil
+}
+
+// robSpaces runs (or returns cached) Experiment 2 spaces: ROB 16/32/64,
+// 20 x 50-transaction OLTP runs, detailed processor.
+func (h *H) robSpaces() (map[int]core.Space, error) {
+	if len(h.robSpacesCache) > 0 {
+		return h.robSpacesCache, nil
+	}
+	// The paper measures 50-transaction runs; our transactions are ~10^3
+	// smaller, so 200 transactions is still a far shorter absolute window
+	// than the paper's (see DESIGN.md on scaling).
+	for _, rob := range []int{16, 32, 64} {
+		cfg := h.baseConfig()
+		cfg.Processor = config.OOOProc
+		cfg.OOO.ROBEntries = rob
+		e := h.experiment(fmt.Sprintf("%d-entry", rob), cfg, "oltp", 300, 200, 0x22+uint64(rob))
+		sp, err := e.RunSpace()
+		if err != nil {
+			return nil, err
+		}
+		h.robSpacesCache[rob] = sp
+	}
+	return h.robSpacesCache, nil
+}
+
+// fig9Spaces runs (or returns cached) the multiple-starting-point study
+// for one workload.
+func (h *H) fig9Spaces(wl string, measure int64) (fig9Data, error) {
+	if d, ok := h.fig9Cache[wl]; ok {
+		return d, nil
+	}
+	// Ten checkpoints spread through the scaled lifetime, as in Figure 9
+	// (the paper uses 10K..100K warmup transactions; ours are 1/10 of
+	// that, consistent with the global scaling).
+	var cks []int64
+	for i := int64(1); i <= 10; i++ {
+		cks = append(cks, h.scaleTxns(i*1000))
+	}
+	e := h.experiment(wl, h.baseConfig(), wl, 0, measure, 0x99)
+	spaces, err := e.TimeSample(cks)
+	if err != nil {
+		return fig9Data{}, err
+	}
+	d := fig9Data{checkpoints: cks, spaces: spaces}
+	h.fig9Cache[wl] = d
+	return d, nil
+}
+
+// ---- Rendering helpers ----------------------------------------------
+
+func (h *H) table(header string, rows [][]string) {
+	if h.opt.Report != nil {
+		h.opt.Report.Add(h.current, header, rows)
+	}
+	w := tabwriter.NewWriter(h.opt.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, header)
+	for _, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+func sortedKeys(m map[int]core.Space) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

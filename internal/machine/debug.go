@@ -1,0 +1,41 @@
+package machine
+
+import (
+	"fmt"
+
+	"varsim/internal/kernel"
+)
+
+// DebugOOO returns internal OOO-core stall counters for diagnostics.
+func DebugOOO(m *Machine) string {
+	s := ""
+	for i := range m.cpus {
+		if c := m.cpus[i].ooo; c != nil {
+			s += fmt.Sprintf("cpu%d: rob=%d mshr=%d mispred=%d condAcc=%.3f ind=%d/%d ret=%d/%d\n",
+				i, c.ROBStalls, c.MSHRStalls, c.MispredictStalls, c.bp.CondAccuracy(), c.bp.IndMiss, c.bp.IndSeen, c.bp.RetMiss, c.bp.RetSeen)
+		}
+	}
+	return s
+}
+
+// DebugState summarizes scheduler/lock/disk state for diagnostics.
+func DebugState(m *Machine) string {
+	states := map[kernel.ThreadState]int{}
+	for i := range m.os.Threads {
+		states[m.os.Threads[i].State]++
+	}
+	s := fmt.Sprintf("t=%d txns=%d threads:", m.eng.Now(), m.txnsDone)
+	for st := kernel.Ready; st <= kernel.Done; st++ {
+		s += fmt.Sprintf(" %v=%d", st, states[st])
+	}
+	s += "\nlocks with waiters:"
+	for i := range m.os.Locks {
+		l := &m.os.Locks[i]
+		if len(l.Waiters) > 0 || (i == 0 && l.Acquisitions > 0) {
+			s += fmt.Sprintf(" [lock%d holder=%d waiters=%d acq=%d cont=%d]", i, l.Holder, len(l.Waiters), l.Acquisitions, l.Contentions)
+		}
+	}
+	s += fmt.Sprintf("\npreempts=%d steals=%d dramStall=%dns diskQueue=%dns diskReqs=%d busReqs=%d events=%d\n",
+		m.os.Preempts, m.os.Steals, m.dram.StallNS, m.disks.QueueNS, m.disks.Requests, m.bus.reqs, m.eng.Steps())
+	return s
+}

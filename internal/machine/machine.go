@@ -1,0 +1,415 @@
+// Package machine assembles the full target system: 16 processors with
+// their cache hierarchies, the MOSI snooping interconnect, distributed
+// memory controllers, disks, the operating-system model, and a workload
+// instance — driven by the deterministic event kernel.
+//
+// A Machine is a pure function of (configuration, workload seed,
+// perturbation seed): running it twice produces bit-identical results.
+// Perturbation (§3.3 of the paper) adds a uniform pseudo-random 0..4 ns
+// to every L2 miss; giving each run a unique perturbation seed creates
+// the space of possible executions the paper's methodology samples.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"varsim/internal/config"
+	"varsim/internal/dram"
+	"varsim/internal/kernel"
+	"varsim/internal/mem"
+	"varsim/internal/rng"
+	"varsim/internal/sim"
+	"varsim/internal/trace"
+	"varsim/internal/workload"
+)
+
+// Tunables of the OS/lock glue (in ns / counts). They are constants of
+// the model, not experiment variables.
+const (
+	maxBatchInstr  = 2000 // instructions per CPU step event (time-skew bound)
+	maxSpins       = 6    // lock acquire attempts before blocking
+	spinBackoffNS  = 150
+	wakeLatencyNS  = 2000 // scheduler wakeup (IPI + dispatch) latency
+	lockPathNS     = 20   // lock bookkeeping cost on the fast path
+	kernelTouches  = 4    // kernel working-set blocks touched per switch
+	defaultMaxEvts = 2_000_000_000
+)
+
+// SchedEvent is one scheduler dispatch, recorded when tracing is enabled
+// (Figure 1 of the paper plots these).
+type SchedEvent struct {
+	TimeNS int64
+	CPU    int32
+	Thread int32
+}
+
+// Result summarizes a measurement window.
+type Result struct {
+	Workload  string
+	ElapsedNS int64
+	Txns      int64
+	CPT       float64 // cycles (ns) per transaction — the paper's metric
+	Instrs    int64
+
+	L1DMisses    uint64
+	L1IMisses    uint64
+	L2Misses     uint64
+	BusRequests  uint64
+	CacheToCache uint64
+	MemFetches   uint64
+	Writebacks   uint64
+
+	CtxSwitches     uint64
+	Preempts        uint64
+	Steals          uint64
+	LockContentions uint64
+	Events          uint64
+}
+
+type counters struct {
+	l1d, l1i, l2   uint64
+	busReqs        uint64
+	c2c, memf, wb  uint64
+	switches       uint64
+	preempts       uint64
+	steals         uint64
+	lockContention uint64
+	instrs         int64
+	events         uint64
+}
+
+type busReq struct {
+	cpu      int32
+	block    uint64
+	kind     mem.AccessKind
+	issuedAt int64
+	ifetch   bool
+	token    int64 // response routing for the multi-outstanding OOO core
+}
+
+type busState struct {
+	q      []busReq
+	busy   bool
+	freeAt int64
+	reqs   uint64
+}
+
+type cpuState struct {
+	pending    workload.Op
+	hasPending bool
+	waitingMem bool
+	// memDone marks that the stalled access's response arrived: the op
+	// completes without re-probing (the response carried the
+	// data/permission), which guarantees forward progress even if a
+	// contender steals the line between fill and response — the
+	// transient-state behaviour of a real protocol.
+	memDone     bool
+	stallIfetch bool // the in-flight stall is an instruction fetch
+	stepQueued  bool
+	spins       int
+	lastIfetch  uint64
+	// quantumDeadline is when the running thread's scheduling quantum
+	// expires (set at dispatch, jittered if configured).
+	quantumDeadline int64
+	ooo             *oooCore // non-nil when the detailed model is selected
+}
+
+// Machine is the simulated system.
+type Machine struct {
+	cfg       config.Config
+	eng       *sim.Engine
+	snoop     *mem.Snooper
+	dram      *dram.Controllers
+	disks     *dram.Disks
+	os        *kernel.OS
+	wl        workload.Instance
+	perturb   rng.Stream
+	cpus      []cpuState
+	bus       busState
+	blockBits uint
+	spinLocks int32 // lock ids below this spin (latches); the rest block
+
+	txnsDone   int64
+	lastTxnNS  int64
+	instrs     int64
+	switchSalt uint64
+
+	// Per-thread op state parked across preemption: a preempted thread
+	// may be mid-operation (e.g. spinning on a latch); its pending op is
+	// saved here and restored at its next dispatch.
+	parkedOps  []workload.Op
+	parkedOk   []bool
+	parkedSpin []int
+
+	recordTxns bool
+	txnTimes   []int64
+	traceSched bool
+	schedTrace []SchedEvent
+	tracer     *trace.Buffer
+
+	maxEvents uint64
+}
+
+// EnableTrace attaches a structured trace buffer retaining up to
+// capEvents events (0 = unbounded): dispatches, blocks, wakes, lock
+// operations and transaction completions. See the trace package for the
+// analyses built on it.
+func (m *Machine) EnableTrace(capEvents int) { m.tracer = trace.NewBuffer(capEvents) }
+
+// Trace returns the structured trace buffer (nil unless EnableTrace was
+// called).
+func (m *Machine) Trace() *trace.Buffer { return m.tracer }
+
+// emit appends a structured trace event if tracing is enabled.
+func (m *Machine) emit(t int64, k trace.Kind, cpu, tid int32, arg int64) {
+	if m.tracer != nil {
+		m.tracer.Append(trace.Event{TimeNS: t, Kind: k, CPU: cpu, Thread: tid, Arg: arg})
+	}
+}
+
+// New builds a machine running wl under cfg. workloadSeed is already
+// baked into wl; perturbSeed selects this run's timing-perturbation
+// stream.
+func New(cfg config.Config, wl workload.Instance, perturbSeed uint64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wl.NumThreads() <= 0 {
+		return nil, errors.New("machine: workload has no threads")
+	}
+	nodes := make([]*mem.NodeCaches, cfg.NumCPUs)
+	for i := range nodes {
+		nodes[i] = mem.NewNodeCaches(cfg)
+	}
+	nLocks := wl.NumLocks()
+	if nLocks < 1 {
+		nLocks = 1
+	}
+	snooper := mem.NewSnooper(nodes)
+	if cfg.CoherenceMESI {
+		snooper.Protocol = mem.MESI
+	}
+	m := &Machine{
+		cfg:        cfg,
+		eng:        sim.NewEngine(),
+		snoop:      snooper,
+		dram:       dram.NewControllers(cfg.NumCPUs, cfg.MemSupplyNS, cfg.DRAMBanksPerCtl),
+		disks:      dram.NewDisks(8), // disk 0: log; 1..: data (§3.1: 5 data + log)
+		os:         kernel.New(cfg.NumCPUs, wl.NumThreads(), nLocks, maxInt(wl.NumBarriers(), 1), wl.NumThreads()),
+		wl:         wl,
+		perturb:    rng.New(perturbSeed),
+		cpus:       make([]cpuState, cfg.NumCPUs),
+		blockBits:  cfg.L2.BlockBits,
+		spinLocks:  int32(wl.NumSpinLocks()),
+		maxEvents:  defaultMaxEvts,
+		parkedOps:  make([]workload.Op, wl.NumThreads()),
+		parkedOk:   make([]bool, wl.NumThreads()),
+		parkedSpin: make([]int, wl.NumThreads()),
+	}
+	for i := range m.cpus {
+		m.cpus[i].lastIfetch = ^uint64(0)
+		if cfg.Processor == config.OOOProc {
+			m.cpus[i].ooo = newOOOCore(cfg.OOO)
+		}
+		m.scheduleStep(int32(i), 0)
+	}
+	return m, nil
+}
+
+// SetPerturbSeed re-seeds the perturbation stream; used after Snapshot to
+// branch multiple differently-perturbed futures from one checkpoint.
+func (m *Machine) SetPerturbSeed(seed uint64) { m.perturb = rng.New(seed) }
+
+// SetMaxEvents overrides the runaway-event guard.
+func (m *Machine) SetMaxEvents(n uint64) { m.maxEvents = n }
+
+// EnableTxnTimes records each transaction's completion time (for
+// interval/throughput analysis: Figures 2, 3 and 8).
+func (m *Machine) EnableTxnTimes() { m.recordTxns = true }
+
+// TxnTimes returns recorded transaction completion times (ns).
+func (m *Machine) TxnTimes() []int64 { return m.txnTimes }
+
+// EnableSchedTrace records scheduler dispatches (Figure 1).
+func (m *Machine) EnableSchedTrace() { m.traceSched = true }
+
+// SchedTrace returns the recorded dispatches.
+func (m *Machine) SchedTrace() []SchedEvent { return m.schedTrace }
+
+// Now returns the simulated time.
+func (m *Machine) Now() int64 { return m.eng.Now() }
+
+// TxnsDone returns the number of completed transactions since start.
+func (m *Machine) TxnsDone() int64 { return m.txnsDone }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() config.Config { return m.cfg }
+
+// Workload returns the machine's workload instance.
+func (m *Machine) Workload() workload.Instance { return m.wl }
+
+func (m *Machine) snapCounters() counters {
+	return counters{
+		l1d: m.l1dMisses(), l1i: m.l1iMisses(), l2: m.l2Misses(),
+		busReqs: m.bus.reqs, c2c: m.snoop.CacheToCache,
+		memf: m.snoop.MemFetches, wb: m.snoop.Writebacks,
+		switches: m.totalSwitches(), preempts: m.os.Preempts,
+		steals: m.os.Steals, lockContention: m.totalContentions(),
+		instrs: m.instrs, events: m.eng.Steps(),
+	}
+}
+
+func (m *Machine) l1dMisses() (n uint64) {
+	for _, nd := range m.snoop.Nodes {
+		n += nd.L1D.Misses
+	}
+	return
+}
+
+func (m *Machine) l1iMisses() (n uint64) {
+	for _, nd := range m.snoop.Nodes {
+		n += nd.L1I.Misses
+	}
+	return
+}
+
+func (m *Machine) l2Misses() (n uint64) {
+	for _, nd := range m.snoop.Nodes {
+		n += nd.L2.Misses
+	}
+	return
+}
+
+func (m *Machine) totalSwitches() (n uint64) {
+	for i := range m.os.Threads {
+		n += m.os.Threads[i].Switches
+	}
+	return
+}
+
+func (m *Machine) totalContentions() (n uint64) {
+	for i := range m.os.Locks {
+		n += m.os.Locks[i].Contentions
+	}
+	return
+}
+
+func (m *Machine) result(start counters, startNS, endNS int64, txns int64) Result {
+	end := m.snapCounters()
+	elapsed := endNS - startNS
+	cpt := 0.0
+	if txns > 0 {
+		cpt = float64(elapsed) / float64(txns)
+	}
+	return Result{
+		Workload:  m.wl.Name(),
+		ElapsedNS: elapsed,
+		Txns:      txns,
+		CPT:       cpt,
+		Instrs:    end.instrs - start.instrs,
+
+		L1DMisses:    end.l1d - start.l1d,
+		L1IMisses:    end.l1i - start.l1i,
+		L2Misses:     end.l2 - start.l2,
+		BusRequests:  end.busReqs - start.busReqs,
+		CacheToCache: end.c2c - start.c2c,
+		MemFetches:   end.memf - start.memf,
+		Writebacks:   end.wb - start.wb,
+
+		CtxSwitches:     end.switches - start.switches,
+		Preempts:        end.preempts - start.preempts,
+		Steals:          end.steals - start.steals,
+		LockContentions: end.lockContention - start.lockContention,
+		Events:          end.events - start.events,
+	}
+}
+
+// Run simulates until n more transactions complete (or all threads
+// terminate, for fixed-work scientific programs) and returns the
+// measurement for that window. The elapsed time is measured from the
+// current simulated time to the completion of the last transaction.
+func (m *Machine) Run(n int64) (Result, error) {
+	if n <= 0 {
+		return Result{}, errors.New("machine: Run needs a positive transaction count")
+	}
+	start := m.snapCounters()
+	startNS := m.eng.Now()
+	target := m.txnsDone + n
+	ok := m.eng.RunUntil(m, func() bool {
+		return m.txnsDone >= target || m.os.AllDone()
+	}, m.maxEvents)
+	if !ok {
+		return Result{}, fmt.Errorf("machine: run did not complete (deadlock or >%d events; txns=%d/%d, pending=%d)",
+			m.maxEvents, m.txnsDone-(target-n), n, m.eng.Pending())
+	}
+	endNS := m.lastTxnNS
+	if endNS < startNS {
+		endNS = m.eng.Now()
+	}
+	return m.result(start, startNS, endNS, m.txnsDone-(target-n)), nil
+}
+
+// RunNS simulates for a fixed span of simulated time (used for the
+// "real machine" interval experiments, Figures 2–3).
+func (m *Machine) RunNS(ns int64) (Result, error) {
+	if ns <= 0 {
+		return Result{}, errors.New("machine: RunNS needs a positive duration")
+	}
+	start := m.snapCounters()
+	startNS := m.eng.Now()
+	startTxns := m.txnsDone
+	deadline := startNS + ns
+	ok := m.eng.RunUntil(m, func() bool {
+		return m.eng.Now() >= deadline || m.os.AllDone()
+	}, m.maxEvents)
+	if !ok {
+		return Result{}, fmt.Errorf("machine: RunNS exceeded event budget %d", m.maxEvents)
+	}
+	return m.result(start, startNS, m.eng.Now(), m.txnsDone-startTxns), nil
+}
+
+// Snapshot deep-copies the entire machine — the analogue of a Simics
+// checkpoint (§3.2.2). The copy can be re-seeded with SetPerturbSeed to
+// branch an independent perturbed future from the same initial
+// conditions.
+func (m *Machine) Snapshot() *Machine {
+	c := *m
+	c.eng = m.eng.Clone()
+	c.snoop = m.snoop.Clone()
+	c.dram = m.dram.Clone()
+	c.disks = m.disks.Clone()
+	c.os = m.os.Clone()
+	c.wl = m.wl.Clone()
+	c.cpus = make([]cpuState, len(m.cpus))
+	copy(c.cpus, m.cpus)
+	for i := range c.cpus {
+		if m.cpus[i].ooo != nil {
+			c.cpus[i].ooo = m.cpus[i].ooo.clone()
+		}
+	}
+	c.bus.q = append([]busReq(nil), m.bus.q...)
+	c.txnTimes = append([]int64(nil), m.txnTimes...)
+	c.schedTrace = append([]SchedEvent(nil), m.schedTrace...)
+	if m.tracer != nil {
+		c.tracer = m.tracer.Clone()
+	}
+	c.parkedOps = append([]workload.Op(nil), m.parkedOps...)
+	c.parkedOk = append([]bool(nil), m.parkedOk...)
+	c.parkedSpin = append([]int(nil), m.parkedSpin...)
+	return &c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

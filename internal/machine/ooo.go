@@ -1,0 +1,515 @@
+package machine
+
+import (
+	"varsim/internal/bpred"
+	"varsim/internal/config"
+	"varsim/internal/kernel"
+	"varsim/internal/mem"
+	"varsim/internal/sim"
+	"varsim/internal/trace"
+	"varsim/internal/workload"
+)
+
+// oooWait encodes why the detailed core is not dispatching.
+type oooWait uint8
+
+const (
+	oooRunning oooWait = iota
+	oooWaitROB         // window full behind an unresolved oldest miss
+	oooWaitMSHR
+	oooWaitDrain  // serializing: waiting for all misses before an OS op
+	oooWaitIfetch // front-end stalled on an instruction miss
+)
+
+// oooMiss is one outstanding (or resolved but unretired) cache miss in
+// program order.
+type oooMiss struct {
+	token       int64
+	dispatchIdx int64
+	doneAt      int64
+	resolved    bool
+}
+
+// oooCore is the TFsim-like detailed processor model (§3.2.4): a 4-wide
+// out-of-order core whose reorder buffer bounds how far dispatch may run
+// ahead of an unresolved miss — the mechanism that makes ROB size
+// (Experiment 2's variable) matter. Memory-level parallelism emerges:
+// misses dispatched within one ROB window overlap.
+type oooCore struct {
+	cfg config.OOOConfig
+	bp  *bpred.Unit
+
+	vt       int64 // virtual dispatch time cursor (ns); never behind eng.Now()
+	frac     int64 // sub-cycle instruction accumulator (vt advances frac/Width)
+	instrIdx int64 // cumulative dispatched instructions
+
+	misses     []oooMiss
+	unresolved int
+	waiting    oooWait
+	nextToken  int64
+
+	ifetchToken int64 // outstanding instruction-miss token (when oooWaitIfetch)
+	retStack    []uint64
+
+	MispredictStalls uint64
+	ROBStalls        uint64
+	MSHRStalls       uint64
+}
+
+func newOOOCore(cfg config.OOOConfig) *oooCore {
+	return &oooCore{cfg: cfg, bp: bpred.New(cfg)}
+}
+
+func (c *oooCore) clone() *oooCore {
+	cp := *c
+	cp.bp = c.bp.Clone()
+	cp.misses = append([]oooMiss(nil), c.misses...)
+	cp.retStack = append([]uint64(nil), c.retStack...)
+	return &cp
+}
+
+// addInstr advances the dispatch cursor by n instructions at full width.
+func (c *oooCore) addInstr(n int64) {
+	c.instrIdx += n
+	c.frac += n
+	c.vt += c.frac / int64(c.cfg.Width)
+	c.frac %= int64(c.cfg.Width)
+}
+
+// popRetired retires resolved misses from the window head.
+func (c *oooCore) popRetired() {
+	for len(c.misses) > 0 && c.misses[0].resolved {
+		c.misses = c.misses[1:]
+	}
+}
+
+// robFull reports whether dispatch has run a full reorder buffer ahead of
+// the oldest unresolved miss.
+func (c *oooCore) robFull() bool {
+	return len(c.misses) > 0 && !c.misses[0].resolved &&
+		c.instrIdx-c.misses[0].dispatchIdx >= int64(c.cfg.ROBEntries)
+}
+
+// oooAccess performs a data reference for the detailed core at virtual
+// time vt. Hits are pipelined; L2 hits cost a partial bubble; misses are
+// issued to the bus and tracked for overlap. It returns false when the
+// core must stall (ROB or MSHR limits).
+func (m *Machine) oooAccess(cpu int32, core *oooCore, addr uint64, write bool) (ok bool) {
+	block := addr >> m.blockBits
+	node := m.snoop.Nodes[cpu]
+	if node.L1D.Probe(block) != mem.Invalid {
+		if !write {
+			core.addInstr(1)
+			m.instrs++
+			return true
+		}
+		if st := node.L2.GetState(block); st.CanWrite() {
+			if st == mem.Exclusive {
+				node.L2.SetState(block, mem.Modified) // silent E->M
+			}
+			node.L1D.SetDirty(block)
+			core.addInstr(1)
+			m.instrs++
+			return true
+		}
+	} else {
+		st := node.L2.Probe(block)
+		if st != mem.Invalid && (!write || st.CanWrite()) {
+			if write && st == mem.Exclusive {
+				node.L2.SetState(block, mem.Modified) // silent E->M
+			}
+			node.L1D.Fill(block, mem.Shared)
+			if write {
+				node.L1D.SetDirty(block)
+			}
+			core.addInstr(1)
+			m.instrs++
+			// L2 hit: partially hidden by the window.
+			core.vt += m.cfg.L2.HitNS / 4
+			return true
+		}
+	}
+	// Miss (or write-permission miss): issue and track.
+	kind := mem.GetS
+	if write {
+		kind = mem.GetX
+	}
+	core.addInstr(1)
+	m.instrs++
+	tok := core.nextToken
+	core.nextToken++
+	m.issueBusToken(cpu, block, kind, false, core.vt, tok)
+	core.misses = append(core.misses, oooMiss{token: tok, dispatchIdx: core.instrIdx})
+	core.unresolved++
+	if core.unresolved >= core.cfg.MSHRs {
+		core.waiting = oooWaitMSHR
+		core.MSHRStalls++
+		return false
+	}
+	if core.robFull() {
+		core.waiting = oooWaitROB
+		core.ROBStalls++
+		return false
+	}
+	return true
+}
+
+// issueBusToken is issueBus with a completion token (the detailed core
+// has multiple outstanding requests and must match responses to misses).
+func (m *Machine) issueBusToken(cpu int32, block uint64, kind mem.AccessKind, ifetch bool, t int64, token int64) {
+	m.bus.q = append(m.bus.q, busReq{cpu: cpu, block: block, kind: kind, issuedAt: t, ifetch: ifetch, token: token})
+	m.bus.reqs++
+	if !m.bus.busy {
+		m.bus.busy = true
+		m.eng.ScheduleAt(max64(t+m.cfg.NetHopNS, m.bus.freeAt), sim.KindBusGrant, 0, 0)
+	}
+}
+
+// oooMemDone handles a memory response for the detailed core.
+func (m *Machine) oooMemDone(cpu int32, token int64) {
+	core := m.cpus[cpu].ooo
+	now := m.eng.Now()
+	if core.waiting == oooWaitIfetch && token == core.ifetchToken {
+		core.waiting = oooRunning
+		if m.cpus[cpu].waitingMem {
+			// A serializing access (lock word) stalled: it completes with
+			// this response; do not re-probe (forward-progress guarantee).
+			m.cpus[cpu].waitingMem = false
+			m.cpus[cpu].memDone = true
+		}
+		if core.vt < now {
+			core.vt = now
+		}
+		m.runOOO(cpu)
+		return
+	}
+	for i := range core.misses {
+		if core.misses[i].token == token && !core.misses[i].resolved {
+			core.misses[i].resolved = true
+			core.misses[i].doneAt = now
+			core.unresolved--
+			break
+		}
+	}
+	core.popRetired()
+	switch core.waiting {
+	case oooWaitROB:
+		if !core.robFull() {
+			core.resume(now)
+			m.runOOO(cpu)
+		}
+	case oooWaitMSHR:
+		if core.unresolved < core.cfg.MSHRs {
+			core.resume(now)
+			m.runOOO(cpu)
+		}
+	case oooWaitDrain:
+		if core.unresolved == 0 {
+			core.misses = core.misses[:0]
+			core.resume(now)
+			m.runOOO(cpu)
+		}
+	}
+}
+
+// resume lifts the dispatch cursor to the resume point: stall time is
+// real time.
+func (c *oooCore) resume(now int64) {
+	c.waiting = oooRunning
+	if c.vt < now {
+		c.vt = now
+	}
+}
+
+// oooDrainThen prepares to execute a serializing operation: if misses
+// are outstanding the core waits for them first. Returns true when the
+// caller may proceed now.
+func (c *oooCore) drainReady() bool {
+	c.popRetired()
+	if c.unresolved > 0 {
+		c.waiting = oooWaitDrain
+		return false
+	}
+	if len(c.misses) > 0 {
+		// All resolved: retire them, honoring the latest arrival.
+		for _, ms := range c.misses {
+			if ms.doneAt > c.vt {
+				c.vt = ms.doneAt
+			}
+		}
+		c.misses = c.misses[:0]
+	}
+	return true
+}
+
+// runOOO advances one detailed processor. Structure parallels runCPU;
+// the differences are wide dispatch, overlapping misses, and branch
+// prediction.
+func (m *Machine) runOOO(cpu int32) {
+	cs := &m.cpus[cpu]
+	core := cs.ooo
+	if core.waiting != oooRunning {
+		return
+	}
+	now := m.eng.Now()
+	if core.vt < now {
+		core.vt = now
+	}
+	tid := m.os.Current[cpu]
+	if tid < 0 {
+		t := core.vt
+		tid = m.dispatch(cpu, &t)
+		if tid < 0 {
+			return
+		}
+		core.vt = t
+	}
+	budget := int64(maxBatchInstr)
+	depth := int64(core.cfg.PipelineDepth)
+	for {
+		// Quantum expiry between ops (never with misses in flight, never
+		// for lock holders; an op whose response just arrived completes
+		// first).
+		if core.vt >= cs.quantumDeadline && len(core.misses) == 0 &&
+			!cs.memDone && m.os.Threads[tid].HeldLocks == 0 && m.os.RunnableOn(cpu) {
+			m.preemptCurrent(cpu, tid, core.vt)
+			m.scheduleStep(cpu, core.vt)
+			return
+		}
+		var op workload.Op
+		if cs.hasPending {
+			op = cs.pending
+		} else {
+			op = m.wl.Next(int(tid))
+			cs.pending = op
+			cs.hasPending = true
+		}
+
+		// Instruction fetch through the L1I.
+		if op.PC != 0 {
+			if iblk := op.PC >> m.blockBits; iblk != cs.lastIfetch {
+				cs.lastIfetch = iblk
+				node := m.snoop.Nodes[cpu]
+				if node.L1I.Probe(iblk) == mem.Invalid {
+					if node.L2.Probe(iblk) != mem.Invalid {
+						node.L1I.Fill(iblk, mem.Shared)
+						core.vt += m.cfg.L2.HitNS / 2
+					} else {
+						tok := core.nextToken
+						core.nextToken++
+						core.ifetchToken = tok
+						core.waiting = oooWaitIfetch
+						m.issueBusToken(cpu, iblk, mem.GetS, true, core.vt, tok)
+						return
+					}
+				}
+			}
+		}
+
+		switch op.Kind {
+		case workload.OpCompute:
+			core.addInstr(op.N)
+			m.instrs += op.N
+			budget -= op.N
+			cs.hasPending = false
+			if core.robFull() {
+				core.waiting = oooWaitROB
+				core.ROBStalls++
+				return
+			}
+
+		case workload.OpBranch:
+			budget--
+			core.addInstr(1)
+			m.instrs++
+			cs.hasPending = false
+			var correct bool
+			if op.Indirect {
+				correct = core.bp.PredictIndirect(op.Site, op.Addr)
+			} else {
+				correct = core.bp.PredictCond(op.Site, op.Taken)
+			}
+			if !correct {
+				core.vt += depth
+				core.MispredictStalls++
+			}
+
+		case workload.OpCall:
+			core.addInstr(1)
+			m.instrs++
+			budget--
+			cs.hasPending = false
+			ret := op.PC + 4
+			core.bp.Call(ret)
+			if len(core.retStack) < 256 {
+				core.retStack = append(core.retStack, ret)
+			}
+
+		case workload.OpRet:
+			core.addInstr(1)
+			m.instrs++
+			budget--
+			cs.hasPending = false
+			var expect uint64
+			if n := len(core.retStack); n > 0 {
+				expect = core.retStack[n-1]
+				core.retStack = core.retStack[:n-1]
+			}
+			if !core.bp.Ret(expect) {
+				core.vt += depth
+			}
+
+		case workload.OpLoad, workload.OpStore:
+			budget--
+			ok := m.oooAccess(cpu, core, op.Addr, op.Kind == workload.OpStore)
+			cs.hasPending = false
+			if !ok {
+				return
+			}
+
+		case workload.OpLockAcq, workload.OpLockRel:
+			// Serializing atomics: drain the window, then run the
+			// simple-core protocol at the drained time.
+			if !core.drainReady() {
+				return
+			}
+			t := core.vt
+			var lat int64
+			if cs.memDone {
+				cs.memDone = false
+			} else {
+				var stalled bool
+				lat, stalled = m.access(cpu, op.Addr, true, false, t)
+				if stalled {
+					// Single blocking miss: reuse the ifetch-wait mechanism.
+					core.ifetchToken = m.adoptLastBusToken(core)
+					core.waiting = oooWaitIfetch
+					return
+				}
+			}
+			t += lat + 1
+			m.instrs++
+			if op.Kind == workload.OpLockAcq {
+				if m.os.TryAcquire(op.ID, tid) {
+					cs.spins = 0
+					t += lockPathNS
+					cs.hasPending = false
+					core.vt = t
+					m.emit(t, trace.LockAcquire, cpu, tid, int64(op.ID))
+				} else if op.ID < m.spinLocks || cs.spins < maxSpins {
+					cs.spins++
+					core.vt = t
+					m.emit(t, trace.LockContended, cpu, tid, int64(op.ID))
+					m.scheduleStep(cpu, t+spinBackoff(cs.spins))
+					return
+				} else {
+					cs.spins = 0
+					cs.hasPending = false
+					m.emit(t, trace.LockContended, cpu, tid, int64(op.ID))
+					m.emit(t, trace.Block, cpu, tid, int64(trace.ReasonLock))
+					m.os.AddWaiter(op.ID, tid)
+					m.os.BlockCurrent(cpu, kernel.BlockedLock)
+					core.vt = t
+					m.scheduleStep(cpu, t)
+					return
+				}
+			} else {
+				cs.hasPending = false
+				core.vt = t + lockPathNS
+				m.emit(core.vt, trace.LockRelease, cpu, tid, int64(op.ID))
+				if next := m.os.Release(op.ID, tid); next >= 0 {
+					m.emit(core.vt, trace.LockAcquire, -1, next, int64(op.ID))
+					m.eng.ScheduleAt(core.vt+m.wakeDelay(), sim.KindWake, -1, int64(next))
+				}
+			}
+
+		case workload.OpIO:
+			if !core.drainReady() {
+				return
+			}
+			cs.hasPending = false
+			t := core.vt
+			var doneAt int64
+			if op.ID < 0 {
+				doneAt = t + op.N
+			} else {
+				doneAt = m.disks.Submit(int(op.ID), t, op.N)
+			}
+			m.eng.ScheduleAt(doneAt+m.wakeJitter(), sim.KindIODone, -1, int64(tid))
+			m.emit(t, trace.Block, cpu, tid, int64(trace.ReasonIO))
+			m.os.BlockCurrent(cpu, kernel.BlockedIO)
+			m.scheduleStep(cpu, t)
+			return
+
+		case workload.OpBarrier:
+			if !core.drainReady() {
+				return
+			}
+			cs.hasPending = false
+			t := core.vt
+			wake, last := m.os.BarrierArrive(op.ID, tid)
+			if last {
+				for _, w := range wake {
+					m.eng.ScheduleAt(t+m.wakeDelay(), sim.KindWake, -1, int64(w))
+				}
+				core.vt = t + lockPathNS
+			} else {
+				m.emit(t, trace.Block, cpu, tid, int64(trace.ReasonBarrier))
+				m.os.BlockCurrent(cpu, kernel.BlockedBarrier)
+				m.scheduleStep(cpu, t)
+				return
+			}
+
+		case workload.OpTxnEnd:
+			if !core.drainReady() {
+				return
+			}
+			cs.hasPending = false
+			m.txnsDone++
+			m.lastTxnNS = core.vt
+			if m.recordTxns {
+				m.txnTimes = append(m.txnTimes, core.vt)
+			}
+			m.emit(core.vt, trace.TxnEnd, cpu, tid, int64(op.ID))
+			core.vt++
+
+		case workload.OpYield:
+			if !core.drainReady() {
+				return
+			}
+			cs.hasPending = false
+			m.emit(core.vt, trace.Block, cpu, tid, int64(trace.ReasonPreempt))
+			m.os.Preempt(cpu)
+			m.scheduleStep(cpu, core.vt)
+			return
+
+		case workload.OpDone:
+			if !core.drainReady() {
+				return
+			}
+			cs.hasPending = false
+			m.emit(core.vt, trace.Block, cpu, tid, int64(trace.ReasonDone))
+			m.os.FinishCurrent(cpu)
+			m.scheduleStep(cpu, core.vt)
+			return
+		}
+
+		if budget <= 0 {
+			m.scheduleStep(cpu, core.vt)
+			return
+		}
+	}
+}
+
+// adoptLastBusToken tags the most recently issued (token-less) request
+// from m.access so the response routes back through the ifetch-wait
+// path. m.access issues requests without tokens; the detailed core needs
+// one.
+func (m *Machine) adoptLastBusToken(core *oooCore) int64 {
+	tok := core.nextToken
+	core.nextToken++
+	if n := len(m.bus.q); n > 0 {
+		m.bus.q[n-1].token = tok
+	}
+	return tok
+}

@@ -1,0 +1,229 @@
+// Package mem models the cache hierarchy of the target system: per-node
+// split L1 instruction/data caches and a unified L2, kept coherent with a
+// MOSI invalidation-based snooping protocol (§3.2.1, §3.2.3 of the
+// paper).
+//
+// The model is a timing/state model: it tracks tags, coherence states and
+// LRU, not data contents. Coherence permission lives at the L2 (the
+// snooping level); L1s track presence and dirtiness, with L1/L2
+// inclusion maintained by invalidating L1 copies whenever their L2 line
+// leaves the cache.
+package mem
+
+import (
+	"fmt"
+
+	"varsim/internal/config"
+)
+
+// State is a coherence state. The protocol in use (MOSI or MESI, see
+// Snooper.Protocol) determines which subset appears: MOSI uses
+// I/S/O/M, MESI uses I/S/E/M.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Owned
+	Modified
+	Exclusive // MESI only: sole clean copy; silently upgradable to M
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	case Exclusive:
+		return "E"
+	}
+	return "?"
+}
+
+// CanRead reports whether a local load may proceed in this state.
+func (s State) CanRead() bool { return s != Invalid }
+
+// CanWrite reports whether a local store may proceed in this state.
+// Exclusive is writable via a silent E->M upgrade (no bus transaction);
+// the cache model performs that transition at the access site.
+func (s State) CanWrite() bool { return s == Modified || s == Exclusive }
+
+// IsOwner reports whether this cache must respond with data to remote
+// requests.
+func (s State) IsOwner() bool { return s == Owned || s == Modified || s == Exclusive }
+
+type line struct {
+	tag   uint64 // block number (address >> blockBits), including set bits
+	state State
+	lru   uint64 // last-touch stamp; larger = more recent
+	dirty bool   // L1 only: line modified since fill
+}
+
+// Cache is one set-associative cache array.
+type Cache struct {
+	lines   []line
+	assoc   int
+	sets    int
+	setMask uint64
+	stamp   uint64
+
+	// Statistics.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// NewCache builds a cache from its configuration. The configuration must
+// be valid (see config.CacheConfig.Validate).
+func NewCache(cfg config.CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("mem: %v", err))
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		lines:   make([]line, sets*cfg.Assoc),
+		assoc:   cfg.Assoc,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+func (c *Cache) setBase(block uint64) int {
+	return int(block&c.setMask) * c.assoc
+}
+
+// find returns the way index of block within its set, or -1.
+func (c *Cache) find(block uint64) int {
+	base := c.setBase(block)
+	for w := 0; w < c.assoc; w++ {
+		ln := &c.lines[base+w]
+		if ln.state != Invalid && ln.tag == block {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Probe looks up block. On a hit it refreshes LRU and returns the state;
+// on a miss it returns Invalid. Hit/miss counters are updated.
+func (c *Cache) Probe(block uint64) State {
+	if i := c.find(block); i >= 0 {
+		c.stamp++
+		c.lines[i].lru = c.stamp
+		c.Hits++
+		return c.lines[i].state
+	}
+	c.Misses++
+	return Invalid
+}
+
+// GetState returns the state of block without touching LRU or counters.
+func (c *Cache) GetState(block uint64) State {
+	if i := c.find(block); i >= 0 {
+		return c.lines[i].state
+	}
+	return Invalid
+}
+
+// SetState changes the state of a resident block; it is a no-op if the
+// block is absent (the caller may race with an eviction).
+func (c *Cache) SetState(block uint64, s State) {
+	if i := c.find(block); i >= 0 {
+		if s == Invalid {
+			c.lines[i] = line{}
+			return
+		}
+		c.lines[i].state = s
+	}
+}
+
+// SetDirty marks a resident block dirty (L1 bookkeeping).
+func (c *Cache) SetDirty(block uint64) {
+	if i := c.find(block); i >= 0 {
+		c.lines[i].dirty = true
+	}
+}
+
+// Victim describes a line displaced by Fill.
+type Victim struct {
+	Block uint64
+	State State
+	Dirty bool
+}
+
+// Fill inserts block with the given state, evicting the LRU way if the
+// set is full. It returns the victim (ok=false if an invalid way was
+// used). If the block is already resident its state is updated in place.
+func (c *Cache) Fill(block uint64, s State) (v Victim, evicted bool) {
+	if i := c.find(block); i >= 0 {
+		c.stamp++
+		c.lines[i].state = s
+		c.lines[i].lru = c.stamp
+		return Victim{}, false
+	}
+	base := c.setBase(block)
+	way := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		ln := &c.lines[base+w]
+		if ln.state == Invalid {
+			way = base + w
+			evicted = false
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			way = base + w
+			evicted = true
+		}
+	}
+	if evicted {
+		old := &c.lines[way]
+		v = Victim{Block: old.tag, State: old.state, Dirty: old.dirty}
+		c.Evictions++
+	}
+	c.stamp++
+	c.lines[way] = line{tag: block, state: s, lru: c.stamp}
+	return v, evicted
+}
+
+// Invalidate removes block and returns its prior state and dirtiness.
+func (c *Cache) Invalidate(block uint64) (prior State, dirty bool) {
+	if i := c.find(block); i >= 0 {
+		prior = c.lines[i].state
+		dirty = c.lines[i].dirty
+		c.lines[i] = line{}
+	}
+	return prior, dirty
+}
+
+// Clone returns a deep copy (for machine snapshots).
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	cp.lines = make([]line, len(c.lines))
+	copy(cp.lines, c.lines)
+	return &cp
+}
+
+// Occupancy returns the fraction of ways holding valid lines, a cheap
+// warm-up indicator used by tests.
+func (c *Cache) Occupancy() float64 {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.lines))
+}

@@ -1,0 +1,202 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"varsim/internal/config"
+	"varsim/internal/rng"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 64B = 512B.
+	return NewCache(config.CacheConfig{SizeBytes: 512, Assoc: 2, BlockBits: 6})
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := smallCache()
+	if st := c.Probe(1); st != Invalid {
+		t.Fatal("cold probe should miss")
+	}
+	c.Fill(1, Shared)
+	if st := c.Probe(1); st != Shared {
+		t.Fatalf("probe after fill = %v", st)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := smallCache() // 2 ways
+	// Blocks 0, 4, 8 map to set 0 (4 sets).
+	c.Fill(0, Shared)
+	c.Fill(4, Shared)
+	c.Probe(0) // make 0 most recent
+	v, evicted := c.Fill(8, Shared)
+	if !evicted || v.Block != 4 {
+		t.Fatalf("expected eviction of block 4, got %+v evicted=%v", v, evicted)
+	}
+	if c.GetState(0) != Shared || c.GetState(8) != Shared || c.GetState(4) != Invalid {
+		t.Fatal("post-eviction states wrong")
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	dm := NewCache(config.CacheConfig{SizeBytes: 256, Assoc: 1, BlockBits: 6}) // 4 sets
+	dm.Fill(0, Shared)
+	v, evicted := dm.Fill(4, Shared)
+	if !evicted || v.Block != 0 {
+		t.Fatal("direct-mapped cache must evict on conflict")
+	}
+}
+
+func TestAssociativityReducesConflicts(t *testing.T) {
+	// Same capacity, different ways: a 2-block working set that conflicts
+	// direct-mapped must co-reside 2-way.
+	dm := NewCache(config.CacheConfig{SizeBytes: 512, Assoc: 1, BlockBits: 6}) // 8 sets
+	sa := NewCache(config.CacheConfig{SizeBytes: 512, Assoc: 2, BlockBits: 6}) // 4 sets
+	dmMisses, saMisses := 0, 0
+	for i := 0; i < 100; i++ {
+		for _, b := range []uint64{0, 8} { // conflict in dm (8 sets), not in sa? 8%4=0, 0%4=0 conflict too but 2 ways fit both
+			if dm.Probe(b) == Invalid {
+				dm.Fill(b, Shared)
+				dmMisses++
+			}
+			if sa.Probe(b) == Invalid {
+				sa.Fill(b, Shared)
+				saMisses++
+			}
+		}
+	}
+	if saMisses != 2 {
+		t.Fatalf("2-way should only cold-miss twice, got %d", saMisses)
+	}
+	if dmMisses != 200 {
+		t.Fatalf("direct-mapped should thrash (200 misses), got %d", dmMisses)
+	}
+}
+
+func TestFillExistingUpdatesState(t *testing.T) {
+	c := smallCache()
+	c.Fill(3, Shared)
+	v, evicted := c.Fill(3, Modified)
+	if evicted {
+		t.Fatalf("re-fill evicted %+v", v)
+	}
+	if c.GetState(3) != Modified {
+		t.Fatal("re-fill did not update state")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Fill(5, Modified)
+	c.SetDirty(5)
+	prior, dirty := c.Invalidate(5)
+	if prior != Modified || !dirty {
+		t.Fatalf("invalidate returned %v dirty=%v", prior, dirty)
+	}
+	if c.GetState(5) != Invalid {
+		t.Fatal("line still present after invalidate")
+	}
+	// Invalidating absent lines is harmless.
+	prior, dirty = c.Invalidate(5)
+	if prior != Invalid || dirty {
+		t.Fatal("double invalidate should be a no-op")
+	}
+}
+
+func TestSetStateInvalidRemovesLine(t *testing.T) {
+	c := smallCache()
+	c.Fill(2, Owned)
+	c.SetState(2, Invalid)
+	if c.GetState(2) != Invalid {
+		t.Fatal("SetState(Invalid) did not remove line")
+	}
+	// Absent block: no-op.
+	c.SetState(99, Modified)
+	if c.GetState(99) != Invalid {
+		t.Fatal("SetState on absent block created a line")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := smallCache()
+	c.Fill(1, Shared)
+	cp := c.Clone()
+	cp.Fill(1, Modified)
+	if c.GetState(1) != Shared {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := smallCache()
+	if c.Occupancy() != 0 {
+		t.Fatal("empty cache occupancy != 0")
+	}
+	for b := uint64(0); b < 8; b++ {
+		c.Fill(b, Shared)
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("full cache occupancy = %v", c.Occupancy())
+	}
+}
+
+// Property: a cache never holds two lines with the same tag, and never
+// holds more than assoc lines per set.
+func TestCacheStructuralInvariants(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nOps uint16) bool {
+		c := smallCache()
+		r := rng.New(seed)
+		for i := 0; i < int(nOps%500); i++ {
+			b := uint64(r.Intn(32))
+			switch r.Intn(3) {
+			case 0:
+				c.Probe(b)
+			case 1:
+				c.Fill(b, State(1+r.Intn(3)))
+			case 2:
+				c.Invalidate(b)
+			}
+		}
+		// Check: no duplicate tags among valid lines within a set.
+		for set := 0; set < c.Sets(); set++ {
+			seen := map[uint64]bool{}
+			for w := 0; w < c.Assoc(); w++ {
+				ln := c.lines[set*c.Assoc()+w]
+				if ln.state == Invalid {
+					continue
+				}
+				if int(ln.tag)%c.Sets() != set {
+					return false // line in wrong set
+				}
+				if seen[ln.tag] {
+					return false // duplicate
+				}
+				seen[ln.tag] = true
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	if Invalid.CanRead() || !Shared.CanRead() || !Owned.CanRead() || !Modified.CanRead() {
+		t.Error("CanRead wrong")
+	}
+	if Shared.CanWrite() || Owned.CanWrite() || !Modified.CanWrite() {
+		t.Error("CanWrite wrong")
+	}
+	if Shared.IsOwner() || !Owned.IsOwner() || !Modified.IsOwner() {
+		t.Error("IsOwner wrong")
+	}
+	for _, s := range []State{Invalid, Shared, Owned, Modified} {
+		if s.String() == "?" {
+			t.Error("missing State name")
+		}
+	}
+}

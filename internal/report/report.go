@@ -1,0 +1,112 @@
+// Package report captures experiment tables in structured form and
+// exports them as CSV or JSON, so reproduction results can be diffed,
+// plotted, or post-processed outside the harness.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is one captured table: which experiment produced it, its column
+// header, and its rows.
+type Table struct {
+	Experiment string     `json:"experiment"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+}
+
+// Collector accumulates tables as experiments run.
+type Collector struct {
+	tables []Table
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records a table. header is the tab-separated column header the
+// harness prints; rows are its cells.
+func (c *Collector) Add(experiment, header string, rows [][]string) {
+	cols := strings.Split(header, "\t")
+	copied := make([][]string, len(rows))
+	for i, r := range rows {
+		copied[i] = append([]string(nil), r...)
+	}
+	c.tables = append(c.tables, Table{Experiment: experiment, Columns: cols, Rows: copied})
+}
+
+// Tables returns the captured tables.
+func (c *Collector) Tables() []Table { return c.tables }
+
+// WriteJSON emits all captured tables as one JSON document.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.tables)
+}
+
+// WriteCSVDir writes one CSV file per experiment into dir (tables from
+// the same experiment are numbered). Returns the files written.
+func (c *Collector) WriteCSVDir(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	var files []string
+	for _, t := range c.tables {
+		counts[t.Experiment]++
+		name := fmt.Sprintf("%s_%d.csv", sanitize(t.Experiment), counts[t.Experiment])
+		path := filepath.Join(dir, name)
+		if err := writeCSV(path, t); err != nil {
+			return files, err
+		}
+		files = append(files, path)
+	}
+	return files, nil
+}
+
+func writeCSV(path string, t Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		// Pad ragged rows so every record has the header's width.
+		rec := make([]string, len(t.Columns))
+		copy(rec, row)
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "table"
+	}
+	return b.String()
+}

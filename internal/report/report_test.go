@@ -1,0 +1,102 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Collector {
+	c := NewCollector()
+	c.Add("table1", "config\tavg\tCoV", [][]string{
+		{"1-way", "3246", "1.28%"},
+		{"2-way", "3074", "1.31%"},
+	})
+	c.Add("table1", "pair\tWCR", [][]string{{"1v2", "22%"}})
+	c.Add("fig4", "lat\tcpt", [][]string{{"80", "3190", "extra-cell"}})
+	return c
+}
+
+func TestAddCopiesRows(t *testing.T) {
+	c := NewCollector()
+	row := []string{"a", "b"}
+	c.Add("x", "h1\th2", [][]string{row})
+	row[0] = "mutated"
+	if c.Tables()[0].Rows[0][0] != "a" {
+		t.Fatal("collector aliased caller's rows")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []Table
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 || tables[0].Experiment != "table1" {
+		t.Fatalf("bad JSON round trip: %+v", tables)
+	}
+	if len(tables[0].Columns) != 3 || tables[0].Columns[2] != "CoV" {
+		t.Fatalf("columns wrong: %v", tables[0].Columns)
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	files, err := sample().WriteCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("wrote %d files", len(files))
+	}
+	want := map[string]bool{"table1_1.csv": true, "table1_2.csv": true, "fig4_1.csv": true}
+	for _, f := range files {
+		if !want[filepath.Base(f)] {
+			t.Fatalf("unexpected file %s", f)
+		}
+	}
+	// Parse one back.
+	f, err := os.Open(filepath.Join(dir, "table1_1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[1][0] != "1-way" {
+		t.Fatalf("csv content wrong: %v", recs)
+	}
+	// Ragged rows padded to header width: fig4 has 2 columns, row had 3
+	// cells -> the CSV writer must still produce consistent records.
+	f2, err := os.Open(filepath.Join(dir, "fig4_1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	recs2, err := csv.NewReader(f2).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2[1]) != len(recs2[0]) {
+		t.Fatalf("ragged row not normalized: %v", recs2)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("fig 9/oltp"); strings.ContainsAny(got, " /") {
+		t.Fatalf("sanitize left specials: %q", got)
+	}
+	if sanitize("") != "table" {
+		t.Fatal("empty name not defaulted")
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import "math"
+
+// ANOVAResult is the outcome of a one-way analysis of variance (§5.2).
+// The paper uses ANOVA to decide whether between-checkpoint (time)
+// variability is significant relative to within-checkpoint (space)
+// variability: if it is, simulations must sample multiple starting
+// points.
+type ANOVAResult struct {
+	F            float64 // between-group MS / within-group MS
+	DFBetween    float64 // k-1
+	DFWithin     float64 // N-k
+	P            float64 // P(F' > F) under H0 (all group means equal)
+	SSBetween    float64
+	SSWithin     float64
+	GrandMean    float64
+	BetweenShare float64 // SSBetween / (SSBetween+SSWithin), in [0,1]
+}
+
+// Significant reports whether the group means differ at level alpha.
+func (r ANOVAResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// OneWayANOVA runs a one-way fixed-effects ANOVA over groups. Each group
+// needs at least one observation, at least two groups, and at least one
+// group with two observations (so the within-group variance is defined).
+func OneWayANOVA(groups [][]float64) (ANOVAResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return ANOVAResult{}, ErrInsufficientData
+	}
+	total := 0
+	grand := 0.0
+	for _, g := range groups {
+		if len(g) == 0 {
+			return ANOVAResult{}, ErrInsufficientData
+		}
+		total += len(g)
+		for _, x := range g {
+			grand += x
+		}
+	}
+	if total <= k {
+		return ANOVAResult{}, ErrInsufficientData
+	}
+	grand /= float64(total)
+
+	ssb, ssw := 0.0, 0.0
+	for _, g := range groups {
+		gm := Mean(g)
+		d := gm - grand
+		ssb += float64(len(g)) * d * d
+		for _, x := range g {
+			e := x - gm
+			ssw += e * e
+		}
+	}
+	dfb := float64(k - 1)
+	dfw := float64(total - k)
+	msb := ssb / dfb
+	msw := ssw / dfw
+	var f, p float64
+	if msw == 0 {
+		if msb == 0 {
+			f, p = 0, 1
+		} else {
+			f, p = inf(), 0
+		}
+	} else {
+		f = msb / msw
+		p = 1 - FCDF(f, dfb, dfw)
+	}
+	share := 0.0
+	if ssb+ssw > 0 {
+		share = ssb / (ssb + ssw)
+	}
+	return ANOVAResult{
+		F: f, DFBetween: dfb, DFWithin: dfw, P: p,
+		SSBetween: ssb, SSWithin: ssw, GrandMean: grand,
+		BetweenShare: share,
+	}, nil
+}
+
+func inf() float64 { return math.Inf(1) }

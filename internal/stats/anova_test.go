@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestANOVAKnownExample(t *testing.T) {
+	// Classic textbook example with known F.
+	groups := [][]float64{
+		{6, 8, 4, 5, 3, 4},
+		{8, 12, 9, 11, 6, 8},
+		{13, 9, 11, 8, 7, 12},
+	}
+	res, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.F, 9.3, 0.1, "F statistic")
+	if !res.Significant(0.05) {
+		t.Errorf("clearly different groups not significant: p=%v", res.P)
+	}
+	if res.DFBetween != 2 || res.DFWithin != 15 {
+		t.Errorf("df = (%v,%v), want (2,15)", res.DFBetween, res.DFWithin)
+	}
+}
+
+func TestANOVASameMeans(t *testing.T) {
+	groups := [][]float64{
+		{10, 11, 9, 10, 10.5},
+		{10.2, 10.8, 9.1, 10.1, 10.3},
+		{9.9, 10.9, 9.2, 10.4, 10.2},
+	}
+	res, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.01) {
+		t.Errorf("same-mean groups significant: p=%v F=%v", res.P, res.F)
+	}
+}
+
+func TestANOVAErrors(t *testing.T) {
+	if _, err := OneWayANOVA([][]float64{{1, 2}}); err == nil {
+		t.Error("expected error for single group")
+	}
+	if _, err := OneWayANOVA([][]float64{{1, 2}, {}}); err == nil {
+		t.Error("expected error for empty group")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {2}}); err == nil {
+		t.Error("expected error when all groups are singletons")
+	}
+}
+
+func TestANOVADegenerateWithinVariance(t *testing.T) {
+	res, err := OneWayANOVA([][]float64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("zero within-variance with different means: p=%v, want 0", res.P)
+	}
+	res, err = OneWayANOVA([][]float64{{1, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-identical data: p=%v, want 1", res.P)
+	}
+}
+
+func TestANOVABetweenShare(t *testing.T) {
+	// Groups with big mean separation and tiny within-noise: share ~ 1.
+	res, err := OneWayANOVA([][]float64{
+		{100.0, 100.1}, {200.0, 200.1}, {300.0, 300.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BetweenShare < 0.99 {
+		t.Errorf("between share = %v, want ~1", res.BetweenShare)
+	}
+	if math.Abs(res.GrandMean-200.05) > 1e-9 {
+		t.Errorf("grand mean = %v", res.GrandMean)
+	}
+}

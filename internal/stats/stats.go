@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance; NaN for n < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoV returns the coefficient of variation as a percentage: 100 * s/mean,
+// the paper's §3.3 definition ("100 times the ratio of the standard
+// deviation to the mean").
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return 100 * StdDev(xs) / m
+}
+
+// MinMax returns the extremes; NaNs for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// RangeOfVariability returns 100*(max-min)/mean, the paper's §4.2 metric:
+// "the difference between the maximum and the minimum runtimes, taken as
+// a percentage of the mean".
+func RangeOfVariability(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	min, max := MinMax(xs)
+	return 100 * (max - min) / m
+}
+
+// Summary bundles the descriptive statistics reported throughout the
+// paper's figures (mean with ±1σ error bars, min, max).
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Min      float64
+	Max      float64
+	CoV      float64 // percent
+	RangePct float64 // percent of mean
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	min, max := MinMax(xs)
+	return Summary{
+		N:        len(xs),
+		Mean:     Mean(xs),
+		StdDev:   StdDev(xs),
+		Min:      min,
+		Max:      max,
+		CoV:      CoV(xs),
+		RangePct: RangeOfVariability(xs),
+	}
+}
+
+// ConfidenceInterval is a two-sided interval for a population mean.
+type ConfidenceInterval struct {
+	Mean       float64
+	Lo, Hi     float64
+	Confidence float64 // e.g. 0.95
+	HalfWidth  float64
+}
+
+// Overlaps reports whether two intervals overlap. Per §5.1.1, if the
+// intervals of two alternatives do NOT overlap, the wrong-conclusion
+// probability is at most 1-p.
+func (ci ConfidenceInterval) Overlaps(other ConfidenceInterval) bool {
+	return ci.Lo <= other.Hi && other.Lo <= ci.Hi
+}
+
+// CI returns the confidence interval for the mean of xs at the given
+// confidence probability, using the Student t quantile for n < 50 and the
+// normal quantile otherwise, exactly as §5.1.1 prescribes:
+//
+//	ybar - t*s/sqrt(n) <= mean <= ybar + t*s/sqrt(n)
+func CI(xs []float64, confidence float64) (ConfidenceInterval, error) {
+	n := len(xs)
+	if n < 2 {
+		return ConfidenceInterval{}, ErrInsufficientData
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return ConfidenceInterval{}, errInvalidConfidence
+	}
+	m := Mean(xs)
+	s := StdDev(xs)
+	p := 1 - (1-confidence)/2
+	var t float64
+	if n < 50 {
+		t = TQuantile(p, float64(n-1))
+	} else {
+		t = NormQuantile(p)
+	}
+	hw := t * s / math.Sqrt(float64(n))
+	return ConfidenceInterval{
+		Mean: m, Lo: m - hw, Hi: m + hw,
+		Confidence: confidence, HalfWidth: hw,
+	}, nil
+}
+
+var errInvalidConfidence = errors.New("stats: confidence must be in (0,1)")
+
+// TTestResult holds the outcome of the paper's §5.1.2 two-sample test of
+// H0: mu_a = mu_b against the one-sided alternative mu_a > mu_b.
+type TTestResult struct {
+	Statistic float64 // t = (ybar_a - ybar_b) / sqrt(s_a^2/n + s_b^2/n)
+	DF        float64 // 2n-2 for the equal-n form used in the paper
+	P         float64 // one-sided p-value: probability of wrong conclusion
+}
+
+// Reject reports whether H0 is rejected at significance level alpha, i.e.
+// whether it is safe (at that level) to conclude mean(a) > mean(b).
+func (r TTestResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// TTestOneSided performs the paper's hypothesis test with equal sample
+// sizes: statistic (ybar_a - ybar_b)/sqrt((s_a^2+s_b^2)/n), df = 2n-2,
+// upper-tail rejection region. a is the configuration believed slower
+// (larger runtime): rejecting H0 accepts "mean(a) > mean(b)".
+func TTestOneSided(a, b []float64) (TTestResult, error) {
+	n := len(a)
+	if n != len(b) {
+		return TTestResult{}, errUnequalSamples
+	}
+	if n < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	va, vb := Variance(a), Variance(b)
+	denom := math.Sqrt((va + vb) / float64(n))
+	df := float64(2*n - 2)
+	if denom == 0 {
+		// Degenerate: zero variance in both samples.
+		diff := Mean(a) - Mean(b)
+		switch {
+		case diff > 0:
+			return TTestResult{Statistic: math.Inf(1), DF: df, P: 0}, nil
+		case diff < 0:
+			return TTestResult{Statistic: math.Inf(-1), DF: df, P: 1}, nil
+		default:
+			return TTestResult{Statistic: 0, DF: df, P: 0.5}, nil
+		}
+	}
+	t := (Mean(a) - Mean(b)) / denom
+	p := 1 - TCDF(t, df)
+	return TTestResult{Statistic: t, DF: df, P: p}, nil
+}
+
+var errUnequalSamples = errors.New("stats: samples must have equal size")
+
+// WelchTTest is the unequal-variance generalization (Welch-Satterthwaite
+// degrees of freedom); provided because real comparison experiments often
+// have unequal run counts.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	na, nb := len(a), len(b)
+	if na < 2 || nb < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	va, vb := Variance(a), Variance(b)
+	sa, sb := va/float64(na), vb/float64(nb)
+	denom := math.Sqrt(sa + sb)
+	if denom == 0 {
+		diff := Mean(a) - Mean(b)
+		df := float64(na + nb - 2)
+		switch {
+		case diff > 0:
+			return TTestResult{Statistic: math.Inf(1), DF: df, P: 0}, nil
+		case diff < 0:
+			return TTestResult{Statistic: math.Inf(-1), DF: df, P: 1}, nil
+		default:
+			return TTestResult{Statistic: 0, DF: df, P: 0.5}, nil
+		}
+	}
+	t := (Mean(a) - Mean(b)) / denom
+	df := (sa + sb) * (sa + sb) / (sa*sa/float64(na-1) + sb*sb/float64(nb-1))
+	p := 1 - TCDF(t, df)
+	return TTestResult{Statistic: t, DF: df, P: p}, nil
+}
+
+// SampleSizeRelErr returns the number of runs needed to bound the
+// relative error of the estimated mean by r at the given confidence
+// probability, per §5.1.1:
+//
+//	n = (t * S / (r * Ybar))^2
+//
+// cov is the coefficient of variation S/Ybar expressed as a FRACTION
+// (e.g. 0.09 for 9%). The paper's worked example: r=0.04, 95% confidence,
+// cov=0.09 => n ≈ 20.
+func SampleSizeRelErr(cov, relErr, confidence float64) int {
+	if cov <= 0 || relErr <= 0 || confidence <= 0 || confidence >= 1 {
+		return 0
+	}
+	z := NormQuantile(1 - (1-confidence)/2)
+	n := z * cov / relErr
+	return int(math.Ceil(n * n))
+}
+
+// MinRunsForSignificance returns the smallest equal sample size n (2..max)
+// at which the one-sided t-test on the FIRST n elements of a and b rejects
+// H0 at level alpha, mirroring §5.1.2's "evaluate the test statistic for
+// different numbers of runs". Returns 0 if no n <= max suffices.
+func MinRunsForSignificance(a, b []float64, alpha float64, max int) int {
+	limit := max
+	if len(a) < limit {
+		limit = len(a)
+	}
+	if len(b) < limit {
+		limit = len(b)
+	}
+	for n := 2; n <= limit; n++ {
+		res, err := TTestOneSided(a[:n], b[:n])
+		if err == nil && res.Reject(alpha) {
+			return n
+		}
+	}
+	return 0
+}
+
+// MinRunsProjected estimates, from pilot estimates of the two means and a
+// common standard deviation, how many runs per configuration are needed
+// for the one-sided t-test to reject at level alpha — the planning form
+// used to produce the paper's Table 5. It assumes the sample means and
+// variances equal the pilot estimates and solves for n.
+func MinRunsProjected(meanA, meanB, std float64, alpha float64) int {
+	if meanA <= meanB || std <= 0 || alpha <= 0 || alpha >= 0.5 {
+		return 0
+	}
+	for n := 2; n <= 1_000_000; n++ {
+		t := (meanA - meanB) / math.Sqrt(2*std*std/float64(n))
+		crit := TQuantile(1-alpha, float64(2*n-2))
+		if t > crit {
+			return n
+		}
+	}
+	return 0
+}

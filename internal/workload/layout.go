@@ -1,0 +1,42 @@
+package workload
+
+// Fixed layout of the simulated 2 GB physical address space. All
+// workloads share this layout; tables are allocated upward from
+// TableBase by the engine.
+const (
+	// KernelBase is touched by the OS model on context switches (kernel
+	// text/data working set shared by all processors).
+	KernelBase uint64 = 0x0000_0000
+	KernelSize uint64 = 4 << 20
+
+	// CodeBase holds workload code; each transaction class gets a slice.
+	CodeBase uint64 = 0x0100_0000
+	CodeSize uint64 = 32 << 20
+
+	// LogBase is the database log: a circular append-only region written
+	// under the log lock — the serialization point of §2 footnote 1.
+	LogBase uint64 = 0x0400_0000
+	LogSize uint64 = 4 << 20
+
+	// LockBase holds lock words, one 64-byte block per lock so lock
+	// contention is pure coherence traffic, not false sharing.
+	LockBase uint64 = 0x0800_0000
+
+	// StackBase holds per-thread private memory (stack + heap slice).
+	StackBase  uint64 = 0x1000_0000
+	StackBytes uint64 = 256 << 10 // per thread
+
+	// TableBase is where shared data regions (database tables, file
+	// caches, object heaps) start.
+	TableBase uint64 = 0x2000_0000
+)
+
+// LockWordAddr returns the address of lock id's word.
+func LockWordAddr(id int32) uint64 {
+	return LockBase + uint64(id)*64
+}
+
+// StackRegion returns thread tid's private region.
+func StackRegion(tid int) Region {
+	return Region{Base: StackBase + uint64(tid)*StackBytes, Size: StackBytes}
+}

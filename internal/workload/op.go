@@ -1,0 +1,116 @@
+// Package workload defines the abstract multi-threaded workload model
+// the simulator executes, and a configurable transactional workload
+// engine that stands in for the paper's commercial benchmarks.
+//
+// A workload is a set of threads, each producing a deterministic stream
+// of operations (compute blocks, loads/stores, lock acquire/release,
+// blocking I/O, barriers, transaction boundaries). Crucially, *which*
+// transaction a thread executes next comes from a shared feed claimed at
+// run time, so the assignment of work to threads — and therefore cache
+// affinity, lock order and scheduling — depends on execution timing.
+// That dependency is what turns nanosecond-scale perturbations into the
+// divergent execution paths the paper studies.
+package workload
+
+// OpKind enumerates the operations a thread can issue.
+type OpKind uint8
+
+const (
+	// OpCompute executes N instructions of pure computation.
+	OpCompute OpKind = iota
+	// OpLoad reads Addr through the data cache hierarchy.
+	OpLoad
+	// OpStore writes Addr (requires exclusive coherence permission).
+	OpStore
+	// OpLockAcq atomically acquires lock ID whose lock word is Addr.
+	// Contended acquires spin briefly, then block in the OS.
+	OpLockAcq
+	// OpLockRel releases lock ID (writes Addr, wakes a waiter).
+	OpLockRel
+	// OpTxnEnd marks the completion of one transaction of class ID.
+	OpTxnEnd
+	// OpIO blocks the thread for N nanoseconds of service on disk ID.
+	OpIO
+	// OpBarrier blocks until all participants arrive at barrier ID.
+	OpBarrier
+	// OpBranch is a conditional branch at site Site with outcome Taken
+	// (consumed by the out-of-order core's predictors; one instruction).
+	OpBranch
+	// OpCall pushes a return address (return-address-stack modelling).
+	OpCall
+	// OpRet pops a return address; Indirect mispredictions flush.
+	OpRet
+	// OpYield voluntarily releases the processor.
+	OpYield
+	// OpDone terminates the thread.
+	OpDone
+)
+
+func (k OpKind) String() string {
+	names := [...]string{
+		"compute", "load", "store", "lock-acq", "lock-rel", "txn-end",
+		"io", "barrier", "branch", "call", "ret", "yield", "done",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "invalid"
+}
+
+// Op is one operation in a thread's instruction stream. Ops are plain
+// data so generator state (and buffered ops) can be deep-copied for
+// machine snapshots.
+type Op struct {
+	Kind     OpKind
+	N        int64  // instructions (compute) or nanoseconds (I/O)
+	Addr     uint64 // memory/lock-word address
+	ID       int32  // lock, barrier, disk, or transaction-class id
+	Site     uint32 // branch site (predictor index)
+	Taken    bool   // branch outcome
+	Indirect bool   // indirect branch (cascaded predictor, not YAGS)
+	PC       uint64 // code address, for instruction-fetch modelling
+}
+
+// Instance is a live, runnable workload: all thread generators plus any
+// shared state (the transaction feed). Instances are single-threaded
+// from the simulator's perspective — Next is only called inside event
+// handlers — and must be deep-copyable via Clone for checkpoints.
+type Instance interface {
+	// Name identifies the workload ("oltp", "apache", ...).
+	Name() string
+	// NumThreads is the total number of user threads.
+	NumThreads() int
+	// NumLocks is how many OS-visible locks the workload uses.
+	NumLocks() int
+	// NumSpinLocks says how many of the first lock ids are spin latches:
+	// waiters spin with backoff and never block in the OS (database
+	// latches, e.g. on the log tail). The remaining locks are blocking
+	// mutexes with FIFO handoff.
+	NumSpinLocks() int
+	// NumBarriers is how many barriers the workload uses.
+	NumBarriers() int
+	// Next produces the next operation for thread tid, advancing its
+	// generator (and possibly shared state such as the transaction feed).
+	// The stream is identical regardless of the processor model consuming
+	// it (the simple core executes branch ops in one cycle), so the two
+	// models see the same workload.
+	Next(tid int) Op
+	// Clone deep-copies the instance for machine snapshots.
+	Clone() Instance
+}
+
+// Region is a contiguous range of the simulated physical address space.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// At returns the address at offset off, wrapped into the region.
+func (r Region) At(off uint64) uint64 {
+	return r.Base + off%r.Size
+}

@@ -1,0 +1,47 @@
+package workload
+
+import "math"
+
+// PhaseModel describes deterministic time variability: how the intrinsic
+// cost of the workload changes over its lifetime (§2.1 "time
+// variability", §4.3). The model composes three effects observed in the
+// paper's workloads:
+//
+//   - a slow monotone trend (database working set growth for OLTP makes
+//     transactions dearer over time; JIT warm-up for SPECjbb makes them
+//     cheaper),
+//   - a periodic component (transaction-mix oscillation, buffer-pool
+//     cycling),
+//   - recurring bursts (log flush storms, garbage-collection pauses).
+type PhaseModel struct {
+	TrendAmp   float64 // final multiplicative trend: cost -> cost*(1+TrendAmp) as idx >> TrendScale (negative = warm-up speedup)
+	TrendScale float64 // transactions to reach ~63% of the trend
+	CycleAmp   float64 // amplitude of the periodic component
+	CyclePer   float64 // period in transactions
+	BurstEvery int64   // a burst starts every BurstEvery transactions (0 = none)
+	BurstLen   int64   // burst length in transactions
+	BurstMult  float64 // cost multiplier during a burst
+}
+
+// Intensity returns the cost multiplier for transaction idx. It is a
+// pure function: the phase behaviour is a property of the workload, not
+// of any particular run.
+func (p PhaseModel) Intensity(idx int64) float64 {
+	m := 1.0
+	if p.TrendAmp != 0 && p.TrendScale > 0 {
+		x := float64(idx) / p.TrendScale
+		m *= 1 + p.TrendAmp*(1-math.Exp(-x))
+	}
+	if p.CycleAmp != 0 && p.CyclePer > 0 {
+		m *= 1 + p.CycleAmp*math.Sin(2*math.Pi*float64(idx)/p.CyclePer)
+	}
+	if p.BurstEvery > 0 && p.BurstLen > 0 {
+		if idx%p.BurstEvery < p.BurstLen {
+			m *= p.BurstMult
+		}
+	}
+	if m < 0.05 {
+		m = 0.05
+	}
+	return m
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+
+	"varsim/internal/rng"
+)
+
+// SciProfile configures the barrier-synchronized scientific workload
+// engine that stands in for the SPLASH-2 codes (Barnes-Hut, Ocean).
+// One thread runs per processor; the whole program counts as a single
+// transaction (Table 3 of the paper lists #transactions = 1 for both).
+type SciProfile struct {
+	Name          string
+	Threads       int
+	Phases        int   // barrier-delimited phases (timesteps x sub-phases)
+	InstrPerPhase int64 // compute per thread per phase
+	// Private partition streamed each phase (Ocean-style grid sweep).
+	PartitionBytes int64
+	SweepStride    int64 // bytes between consecutive touches (64 = every block)
+	// Shared structure read each phase (Barnes-style tree walk).
+	SharedBytes  int64
+	SharedReads  int
+	SharedTheta  float64
+	BoundaryRows int // neighbour-partition blocks read per phase (Ocean)
+	WriteFrac    float64
+	CodeBytes    int64
+}
+
+// Validate checks internal consistency.
+func (p *SciProfile) Validate() error {
+	if p.Threads <= 0 || p.Phases <= 0 {
+		return fmt.Errorf("scientific workload %s: need threads and phases", p.Name)
+	}
+	if p.PartitionBytes < 0 || p.SharedBytes < 0 {
+		return fmt.Errorf("scientific workload %s: negative region size", p.Name)
+	}
+	return nil
+}
+
+// sciThread is one worker thread's generator state.
+type sciThread struct {
+	rng   rng.Stream
+	ops   []Op
+	pos   int
+	phase int
+	done  bool
+	priv  Region
+}
+
+// SciEngine implements Instance for barrier-phase scientific programs.
+type SciEngine struct {
+	prof    SciProfile
+	seed    uint64
+	threads []sciThread
+	shared  Region
+	parts   []Region
+	code    Region
+}
+
+// NewSciEngine builds a scientific workload instance.
+func NewSciEngine(prof SciProfile, seed uint64) *SciEngine {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	e := &SciEngine{prof: prof, seed: seed}
+	base := TableBase
+	e.shared = Region{Base: base, Size: uint64(maxI64(prof.SharedBytes, 64))}
+	base += e.shared.Size
+	for i := 0; i < prof.Threads; i++ {
+		sz := uint64(maxI64(prof.PartitionBytes, 64))
+		e.parts = append(e.parts, Region{Base: base, Size: sz})
+		base += sz
+	}
+	cs := uint64(prof.CodeBytes)
+	if cs == 0 {
+		cs = 128 << 10
+	}
+	e.code = Region{Base: CodeBase, Size: cs}
+	e.threads = make([]sciThread, prof.Threads)
+	for i := range e.threads {
+		e.threads[i] = sciThread{
+			rng:  rng.New(rng.Derive(seed, 0x2000+uint64(i))),
+			priv: StackRegion(i),
+		}
+	}
+	return e
+}
+
+// Name implements Instance.
+func (e *SciEngine) Name() string { return e.prof.Name }
+
+// NumThreads implements Instance.
+func (e *SciEngine) NumThreads() int { return e.prof.Threads }
+
+// NumLocks implements Instance.
+func (e *SciEngine) NumLocks() int { return 1 } // a global reduction lock
+
+// NumSpinLocks implements Instance: the reduction lock is a spin latch.
+func (e *SciEngine) NumSpinLocks() int { return 1 }
+
+// NumBarriers implements Instance.
+func (e *SciEngine) NumBarriers() int { return 1 }
+
+// Next implements Instance.
+func (e *SciEngine) Next(tid int) Op {
+	t := &e.threads[tid]
+	for t.pos >= len(t.ops) {
+		if t.done {
+			return Op{Kind: OpDone}
+		}
+		e.buildPhase(tid)
+	}
+	op := t.ops[t.pos]
+	t.pos++
+	return op
+}
+
+// Clone implements Instance.
+func (e *SciEngine) Clone() Instance {
+	cp := *e
+	cp.threads = make([]sciThread, len(e.threads))
+	for i, t := range e.threads {
+		nt := t
+		nt.ops = make([]Op, len(t.ops))
+		copy(nt.ops, t.ops)
+		cp.threads[i] = nt
+	}
+	cp.parts = append([]Region(nil), e.parts...)
+	return &cp
+}
+
+// buildPhase expands one barrier phase for thread tid.
+func (e *SciEngine) buildPhase(tid int) {
+	t := &e.threads[tid]
+	t.ops = t.ops[:0]
+	t.pos = 0
+	p := e.prof
+
+	if t.phase >= p.Phases {
+		// Program end: thread 0 reports the single whole-program
+		// "transaction"; everyone terminates.
+		if tid == 0 {
+			t.ops = append(t.ops, Op{Kind: OpTxnEnd, PC: e.code.At(0)})
+		}
+		t.ops = append(t.ops, Op{Kind: OpDone})
+		t.done = true
+		return
+	}
+
+	part := e.parts[tid]
+	pc := uint64(t.phase%64) * 256
+	emit := func(op Op) {
+		op.PC = e.code.At(pc)
+		t.ops = append(t.ops, op)
+		pc += 4
+	}
+
+	// Compute interleaved with the sweep so misses spread through the
+	// phase rather than bunching at its start.
+	stride := p.SweepStride
+	if stride < 64 {
+		stride = 64
+	}
+	touches := int(int64(part.Size) / stride)
+	if touches < 1 {
+		touches = 1
+	}
+	instrPerTouch := p.InstrPerPhase / int64(touches)
+	if instrPerTouch < 1 {
+		instrPerTouch = 1
+	}
+	sharedEvery := 0
+	if p.SharedReads > 0 {
+		sharedEvery = maxInt(touches/p.SharedReads, 1)
+	}
+	for i := 0; i < touches; i++ {
+		addr := part.At(uint64(int64(i) * stride))
+		emit(Op{Kind: OpLoad, Addr: addr})
+		if t.rng.Bool(p.WriteFrac) {
+			emit(Op{Kind: OpStore, Addr: addr})
+		}
+		if sharedEvery > 0 && i%sharedEvery == 0 {
+			soff := uint64(t.rng.Zipf(int(e.shared.Size/64), p.SharedTheta)) * 64
+			emit(Op{Kind: OpLoad, Addr: e.shared.At(soff)})
+		}
+		emit(Op{Kind: OpCompute, N: instrPerTouch})
+		if i%4 == 3 {
+			// Loop back-edges: highly predictable.
+			site := uint32(0x4000 + i%128)
+			emit(Op{Kind: OpBranch, Site: site, Taken: t.rng.Bool(0.97)})
+		}
+	}
+	// Boundary exchange: read neighbours' edge blocks (Ocean-style
+	// producer/consumer sharing).
+	for bdry := 0; bdry < p.BoundaryRows; bdry++ {
+		nb := e.parts[(tid+1)%p.Threads]
+		emit(Op{Kind: OpLoad, Addr: nb.At(uint64(bdry) * 64)})
+		pv := e.parts[(tid+p.Threads-1)%p.Threads]
+		emit(Op{Kind: OpLoad, Addr: pv.At(pv.Size - 64 - uint64(bdry)*64)})
+	}
+	// Phase-end reduction under the global lock.
+	emit(Op{Kind: OpLockAcq, ID: 0, Addr: LockWordAddr(0)})
+	emit(Op{Kind: OpStore, Addr: e.shared.At(0)})
+	emit(Op{Kind: OpLockRel, ID: 0, Addr: LockWordAddr(0)})
+	emit(Op{Kind: OpBarrier, ID: 0})
+	t.phase++
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

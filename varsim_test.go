@@ -1,0 +1,117 @@
+package varsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 4
+	wl, err := NewWorkload("oltp", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cfg, wl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := BranchSpace(m, "demo", 4, 15, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(sp.Values)
+	if s.N != 4 || s.Mean <= 0 {
+		t.Fatalf("bad space summary %+v", s)
+	}
+}
+
+func TestFacadeStatistics(t *testing.T) {
+	a := []float64{10, 11, 10.5, 10.2, 10.8}
+	b := []float64{9, 9.2, 8.8, 9.1, 9.05}
+	if WCR(a, b) != 0 {
+		t.Error("disjoint samples should have zero WCR")
+	}
+	ci, err := CI(a, 0.95)
+	if err != nil || ci.Lo >= ci.Hi {
+		t.Fatalf("bad CI %+v %v", ci, err)
+	}
+	tt, err := TTestOneSided(a, b)
+	if err != nil || !tt.Reject(0.01) {
+		t.Fatalf("clear difference not significant: %+v %v", tt, err)
+	}
+	an, err := OneWayANOVA([][]float64{a, b})
+	if err != nil || !an.Significant(0.01) {
+		t.Fatalf("ANOVA missed group difference: %+v %v", an, err)
+	}
+	if n := SampleSizeRelErr(0.09, 0.04, 0.95); n < 19 || n > 21 {
+		t.Errorf("paper's sizing example gives %d", n)
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 4
+	e := Experiment{
+		Label: "x", Config: cfg, Workload: "oltp", WorkloadSeed: 2,
+		WarmupTxns: 15, MeasureTxns: 15, Runs: 3, SeedBase: 5,
+	}
+	sp, err := e.RunSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2 := sp
+	sp2.Label = "y"
+	cmp, err := Compare(sp, sp2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MeanDiffPct != 0 {
+		t.Errorf("identical spaces differ: %+v", cmp)
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	if len(Workloads()) != 7 {
+		t.Fatalf("want 7 workloads, got %v", Workloads())
+	}
+	if DefaultTxns("oltp") != 1000 {
+		t.Error("Table 3 OLTP txn count wrong")
+	}
+}
+
+func TestPaperExperimentsRegistry(t *testing.T) {
+	names := PaperExperiments()
+	if len(names) != 17 {
+		t.Fatalf("want 17 experiments, got %d: %v", len(names), names)
+	}
+	for _, want := range []string{"fig1", "table1", "table5", "anova"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+	if err := RunPaperExperiment("nosuch", &bytes.Buffer{}, 1, true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunPaperExperimentQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunPaperExperiment("fig4", &buf, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DRAM latency") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
