@@ -1,0 +1,34 @@
+# Build/test entry points. `make check` is the tier-1 flow: build,
+# vet, full tests, plus the race detector over the event kernel and the
+# metrics registry (the two packages with concurrency-sensitive state —
+# the heartbeat goroutine and the process-wide cycle counter ride on
+# them).
+
+GO ?= go
+
+.PHONY: all build test bench vet race check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+	$(GO) build -o bin/varsim ./cmd/varsim
+	$(GO) build -o bin/experiments ./cmd/experiments
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/metrics ./internal/report
+
+check: vet test race
+	$(GO) build ./...
+
+clean:
+	rm -rf bin

@@ -9,6 +9,12 @@
 // paper-vs-measured results). The full versions keep the paper's
 // structure — 16 processors, 20 runs per configuration; -quick scales
 // them down for a fast smoke pass.
+//
+// Observability: -manifest writes a run-provenance JSON (seeds, config
+// hash, toolchain, per-experiment wall clock and simulated-cycle
+// throughput), -heartbeat prints periodic progress to stderr, and
+// -cpuprofile/-memprofile/-trace enable Go's profilers. Captured tables
+// and the manifest are flushed even when an experiment fails.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"time"
 
 	"varsim/internal/harness"
+	"varsim/internal/machine"
+	"varsim/internal/profile"
 	"varsim/internal/report"
 )
 
@@ -27,6 +35,11 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also export every table as CSV into this directory")
 	jsonOut := flag.String("json", "", "also export every table as JSON to this file")
+	manifestP := flag.String("manifest", "", "write a run-provenance manifest (JSON) to this file")
+	heartbeat := flag.Duration("heartbeat", 30*time.Second, "stderr progress-line period (0 disables)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file")
+	traceProf := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-seed N] <experiment>... | all\n\nexperiments:\n", os.Args[0])
 		for _, e := range harness.Experiments() {
@@ -47,24 +60,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	var collector *report.Collector
-	if *csvDir != "" || *jsonOut != "" {
-		collector = report.NewCollector()
-	}
-	h := harness.New(harness.Options{Out: os.Stdout, Seed: *seed, Quick: *quick, Report: collector})
-	run := func(e harness.Experiment) {
-		start := time.Now()
-		if err := h.RunOne(e); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("[%s finished in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
-	}
+	// Resolve the experiment list up front so name typos fail before any
+	// simulation runs and the heartbeat knows the total.
+	var todo []harness.Experiment
 	for _, name := range args {
 		if name == "all" {
-			for _, e := range harness.Experiments() {
-				run(e)
-			}
+			todo = append(todo, harness.Experiments()...)
 			continue
 		}
 		e, ok := harness.Find(name)
@@ -72,31 +73,119 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
 			os.Exit(2)
 		}
-		run(e)
+		todo = append(todo, e)
 	}
 
+	stopProf, err := profile.Start(*cpuProf, *traceProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var man *report.Manifest
+	if *manifestP != "" {
+		man = report.NewManifest("experiments", *seed, machine.SimulatedCycles)
+		man.Args = os.Args[1:]
+		man.Quick = *quick
+		man.ConfigHash = report.ConfigHash(harnessConfigFingerprint(*seed, *quick, args))
+	}
+	var hb *report.Heartbeat
+	if *heartbeat > 0 {
+		hb = report.StartHeartbeat(os.Stderr, *heartbeat, len(todo), machine.SimulatedCycles)
+	}
+
+	var collector *report.Collector
+	if *csvDir != "" || *jsonOut != "" {
+		collector = report.NewCollector()
+	}
+	h := harness.New(harness.Options{Out: os.Stdout, Seed: *seed, Quick: *quick, Report: collector})
+
+	// Run the experiments, remembering the first failure instead of
+	// exiting on it: tables captured so far, the manifest and any
+	// profiles are all worth flushing on the way out.
+	var firstErr error
+	for _, e := range todo {
+		start := time.Now()
+		simStart := machine.SimulatedCycles()
+		runErr := h.RunOne(e)
+		wall := time.Since(start)
+		simCycles := machine.SimulatedCycles() - simStart
+		errMsg := ""
+		if runErr != nil {
+			errMsg = runErr.Error()
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, runErr)
+			if firstErr == nil {
+				firstErr = runErr
+			}
+		} else {
+			fmt.Printf("[%s finished in %v]\n", e.Name, wall.Round(time.Millisecond))
+		}
+		if man != nil {
+			man.AddExperiment(e.Name, wall, simCycles, errMsg)
+		}
+		if hb != nil {
+			hb.Advance(1)
+		}
+		if runErr != nil {
+			break
+		}
+	}
+
+	if hb != nil {
+		hb.Stop()
+	}
+	flush := func(what string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
 	if collector != nil {
 		if *csvDir != "" {
 			files, err := collector.WriteCSVDir(*csvDir)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
-				os.Exit(1)
+			flush("csv export", err)
+			if err == nil {
+				fmt.Printf("wrote %d CSV files to %s\n", len(files), *csvDir)
 			}
-			fmt.Printf("wrote %d CSV files to %s\n", len(files), *csvDir)
 		}
 		if *jsonOut != "" {
 			f, err := os.Create(*jsonOut)
 			if err == nil {
 				err = collector.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
 			}
+			flush("json export", err)
 			if err == nil {
-				err = f.Close()
+				fmt.Printf("wrote JSON tables to %s\n", *jsonOut)
 			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "json export: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote JSON tables to %s\n", *jsonOut)
 		}
 	}
+	flush("profile", stopProf())
+	if *memProf != "" {
+		flush("heap profile", profile.WriteHeap(*memProf))
+	}
+	if man != nil {
+		man.Finish()
+		flush("manifest", man.WriteFile(*manifestP))
+		if _, err := os.Stat(*manifestP); err == nil {
+			fmt.Printf("run manifest written to %s\n", *manifestP)
+		}
+	}
+	if firstErr != nil {
+		os.Exit(1)
+	}
+}
+
+// harnessConfigFingerprint is the hashable identity of a harness run:
+// what was asked for, at which scale, from which shared seed.
+func harnessConfigFingerprint(seed uint64, quick bool, args []string) any {
+	return struct {
+		Seed  uint64   `json:"seed"`
+		Quick bool     `json:"quick"`
+		Args  []string `json:"args"`
+	}{seed, quick, args}
 }

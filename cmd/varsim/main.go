@@ -8,16 +8,24 @@
 //	varsim -workload specjbb -cpus 8 -runs 20 -txns 500
 //	varsim -workload oltp -proc ooo -rob 32 -runs 10 -txns 200
 //	varsim -workload oltp -txns 100 -sched-trace
+//	varsim -workload oltp -txns 200 -interval-us 50 -series-csv series.csv
+//	varsim -workload oltp -txns 200 -manifest run.json -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"varsim"
+	"varsim/internal/metrics"
+	"varsim/internal/plot"
+	"varsim/internal/profile"
+	"varsim/internal/report"
 )
 
 func main() {
@@ -38,6 +46,14 @@ func main() {
 		lockRep = flag.Bool("lock-report", false, "print the lock contention report")
 		saveRcp = flag.String("save-recipe", "", "write the warmed checkpoint's recipe to this file")
 		fromRcp = flag.String("from-recipe", "", "start from a checkpoint recipe instead of flags")
+
+		intervalUS  = flag.Int64("interval-us", 0, "sample the metrics registry every N simulated microseconds and print per-interval sparklines")
+		seriesCSV   = flag.String("series-csv", "", "write the sampled metric time series as CSV to this file")
+		seriesJSONL = flag.String("series-jsonl", "", "write the sampled metric time series as JSON lines to this file")
+		manifestP   = flag.String("manifest", "", "write a run-provenance manifest (JSON) to this file")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
+		traceProf   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +73,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := profile.Start(*cpuProf, *traceProf)
+	fail(err)
+	var man *report.Manifest
+	if *manifestP != "" {
+		man = report.NewManifest("varsim", *seed, varsim.SimulatedCycles)
+		man.Args = os.Args[1:]
+		man.ConfigHash = report.ConfigHash(cfg)
+	}
+
 	e := varsim.Experiment{
 		Label:        fmt.Sprintf("%s/%s", *wlName, *proc),
 		Config:       cfg,
@@ -68,45 +93,122 @@ func main() {
 		SeedBase:     *pseed,
 	}
 
-	if *schedTr || *lockRep {
-		wl, err := varsim.NewWorkload(*wlName, cfg, *seed)
-		fail(err)
-		m, err := varsim.NewMachine(cfg, wl, *pseed)
-		fail(err)
+	// Run, then flush profiles and the manifest even on failure — a
+	// partial run's provenance is still worth keeping.
+	runStart := time.Now()
+	simStart := varsim.SimulatedCycles()
+	runErr := run(e, *wlName, *seed, *pseed, *schedTr, *lockRep,
+		*saveRcp, *fromRcp, *intervalUS, *seriesCSV, *seriesJSONL)
+
+	if err := stopProf(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if *memProf != "" {
+		if err := profile.WriteHeap(*memProf); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if man != nil {
+		errMsg := ""
+		if runErr != nil {
+			errMsg = runErr.Error()
+		}
+		man.AddExperiment(e.Label, time.Since(runStart), varsim.SimulatedCycles()-simStart, errMsg)
+		man.Finish()
+		if err := man.WriteFile(*manifestP); err != nil && runErr == nil {
+			runErr = err
+		} else if err == nil {
+			fmt.Printf("run manifest written to %s\n", *manifestP)
+		}
+	}
+	fail(runErr)
+}
+
+// run executes the selected mode and returns instead of exiting, so
+// main can finalize profiles and the manifest on every path.
+func run(e varsim.Experiment, wlName string, seed, pseed uint64, schedTr, lockRep bool,
+	saveRcp, fromRcp string, intervalUS int64, seriesCSV, seriesJSONL string) error {
+
+	if schedTr || lockRep {
+		wl, err := varsim.NewWorkload(wlName, e.Config, seed)
+		if err != nil {
+			return err
+		}
+		m, err := varsim.NewMachine(e.Config, wl, pseed)
+		if err != nil {
+			return err
+		}
 		m.EnableSchedTrace()
 		m.EnableTrace(0)
-		res, err := m.Run(*warmup + *txns)
-		fail(err)
-		if *schedTr {
+		res, err := m.Run(e.WarmupTxns + e.MeasureTxns)
+		if err != nil {
+			return err
+		}
+		if schedTr {
 			for _, ev := range m.SchedTrace() {
 				fmt.Printf("%12d ns  cpu%-3d thread %d\n", ev.TimeNS, ev.CPU, ev.Thread)
 			}
 		}
-		if *lockRep {
+		if lockRep {
 			fmt.Print(varsim.FormatLockReport(varsim.LockReport(m.Trace().Events()), 20))
 		}
 		printResult(res)
-		return
+		return nil
 	}
 
 	var base *varsim.Machine
-	if *fromRcp != "" {
-		rcp, err := varsim.LoadRecipe(*fromRcp)
-		fail(err)
+	if fromRcp != "" {
+		rcp, err := varsim.LoadRecipe(fromRcp)
+		if err != nil {
+			return err
+		}
 		base, err = rcp.Build()
-		fail(err)
-		e.MeasureTxns = *txns
+		if err != nil {
+			return err
+		}
 	} else {
 		var err error
 		base, err = e.Prepare()
-		fail(err)
+		if err != nil {
+			return err
+		}
 	}
-	if *saveRcp != "" {
-		fail(varsim.SaveRecipe(*saveRcp, varsim.RecipeFromExperiment(e)))
-		fmt.Printf("checkpoint recipe written to %s\n", *saveRcp)
+	if saveRcp != "" {
+		if err := varsim.SaveRecipe(saveRcp, varsim.RecipeFromExperiment(e)); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint recipe written to %s\n", saveRcp)
 	}
+
+	if intervalUS > 0 {
+		res, ts, err := varsim.SampleRun(base, e.MeasureTxns, pseed, intervalUS*1000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sampled run: ")
+		printResult(res)
+		printSeries(ts)
+		if seriesCSV != "" {
+			if err := writeSeries(seriesCSV, ts.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Printf("metric series (CSV) written to %s\n", seriesCSV)
+		}
+		if seriesJSONL != "" {
+			if err := writeSeries(seriesJSONL, ts.WriteJSONL); err != nil {
+				return err
+			}
+			fmt.Printf("metric series (JSONL) written to %s\n", seriesJSONL)
+		}
+		if e.Runs <= 1 {
+			return nil
+		}
+	}
+
 	sp, err := varsim.BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	for i, r := range sp.Results {
 		fmt.Printf("run %2d: ", i)
 		printResult(r)
@@ -119,6 +221,38 @@ func main() {
 			fmt.Printf("95%% confidence interval for the mean: [%.1f, %.1f]\n", ci.Lo, ci.Hi)
 		}
 	}
+	return nil
+}
+
+// printSeries renders the run's headline per-interval series as
+// sparklines: IPC, L2 miss rate, bus traffic and lock contention — the
+// live form of the paper's Figures 2–4.
+func printSeries(ts varsim.MetricSeries) {
+	if ts.Len() == 0 {
+		return
+	}
+	fmt.Printf("\nper-interval series (%d samples, %d ns cadence):\n", ts.Len(), ts.IntervalNS)
+	const width = 60
+	fmt.Println(plot.SparklineLabeled("ipc", ts.PerCycle("machine.instrs"), width))
+	fmt.Println(plot.SparklineLabeled("l2_miss_rate", ts.Ratio("mem.l2.misses", "mem.l2.accesses"), width))
+	dtUS := ts.DeltaTime()
+	for i := range dtUS {
+		dtUS[i] /= 1000
+	}
+	fmt.Println(plot.SparklineLabeled("bus_req_per_us", metrics.Div(ts.Delta("bus.requests"), dtUS), width))
+	fmt.Println(plot.SparklineLabeled("lock_contention", ts.Ratio("os.lock_contentions", "os.lock_acquisitions"), width))
+}
+
+func writeSeries(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(r varsim.Result) {

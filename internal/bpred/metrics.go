@@ -1,0 +1,23 @@
+package bpred
+
+import "varsim/internal/metrics"
+
+// RegisterMetrics registers branch-prediction counters aggregated over
+// the given units (one per out-of-order core) into reg.
+func RegisterMetrics(reg *metrics.Registry, units []*Unit) {
+	sum := func(read func(*Unit) uint64) func() uint64 {
+		return func() (n uint64) {
+			for _, u := range units {
+				n += read(u)
+			}
+			return
+		}
+	}
+	reg.CounterFunc("bpred.cond_seen", sum(func(u *Unit) uint64 { return u.CondSeen }))
+	reg.CounterFunc("bpred.cond_miss", sum(func(u *Unit) uint64 { return u.CondMiss }))
+	reg.CounterFunc("bpred.ind_seen", sum(func(u *Unit) uint64 { return u.IndSeen }))
+	reg.CounterFunc("bpred.ind_miss", sum(func(u *Unit) uint64 { return u.IndMiss }))
+	reg.CounterFunc("bpred.ret_seen", sum(func(u *Unit) uint64 { return u.RetSeen }))
+	reg.CounterFunc("bpred.ret_miss", sum(func(u *Unit) uint64 { return u.RetMiss }))
+	reg.CounterFunc("bpred.ras_overflows", sum(func(u *Unit) uint64 { return u.Overflows }))
+}

@@ -1,0 +1,15 @@
+package dram
+
+import "varsim/internal/metrics"
+
+// RegisterMetrics registers the memory controllers' counters into reg.
+func (c *Controllers) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("dram.accesses", func() uint64 { return c.Accesses })
+	reg.CounterFunc("dram.stall_ns", func() uint64 { return uint64(c.StallNS) })
+}
+
+// RegisterMetrics registers the disk subsystem's counters into reg.
+func (d *Disks) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("disk.requests", func() uint64 { return d.Requests })
+	reg.CounterFunc("disk.queue_ns", func() uint64 { return uint64(d.QueueNS) })
+}

@@ -115,10 +115,18 @@ func (h *H) All() error {
 	return nil
 }
 
-// RunOne runs a single experiment with its banner.
-func (h *H) RunOne(e Experiment) error {
+// RunOne runs a single experiment with its banner. A panicking
+// experiment is converted into an error instead of unwinding through
+// the dispatcher, so tables already captured by the report collector
+// (and the run manifest) still get flushed by the caller.
+func (h *H) RunOne(e Experiment) (err error) {
 	h.current = e.Name
 	fmt.Fprintf(h.opt.Out, "\n=== %s — %s ===\n", e.Name, e.Title)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: panic: %v", e.Name, r)
+		}
+	}()
 	return e.Run(h)
 }
 

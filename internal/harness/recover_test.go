@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"varsim/internal/report"
+)
+
+// A panicking experiment must surface as an error from RunOne, not
+// unwind through the dispatcher — and tables captured before the panic
+// must still be exportable.
+func TestRunOneRecoversPanic(t *testing.T) {
+	var buf bytes.Buffer
+	collector := report.NewCollector()
+	h := New(Options{Out: &buf, Seed: 1, Quick: true, Report: collector})
+
+	exploding := Experiment{
+		Name:  "exploding",
+		Title: "panics mid-run",
+		Run: func(h *H) error {
+			h.table("col1\tcol2", [][]string{{"captured", "before panic"}})
+			panic("simulated experiment bug")
+		},
+	}
+	err := h.RunOne(exploding)
+	if err == nil {
+		t.Fatal("RunOne swallowed the panic")
+	}
+	if !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "simulated experiment bug") {
+		t.Fatalf("error %q does not describe the panic", err)
+	}
+
+	tables := collector.Tables()
+	if len(tables) != 1 || tables[0].Experiment != "exploding" || tables[0].Rows[0][0] != "captured" {
+		t.Fatalf("pre-panic table lost: %+v", tables)
+	}
+	var out bytes.Buffer
+	if err := collector.WriteJSON(&out); err != nil {
+		t.Fatalf("collector not flushable after panic: %v", err)
+	}
+
+	// The harness stays usable: a later experiment runs normally.
+	ok := Experiment{Name: "ok", Title: "fine", Run: func(h *H) error { return nil }}
+	if err := h.RunOne(ok); err != nil {
+		t.Fatalf("harness broken after recovered panic: %v", err)
+	}
+}

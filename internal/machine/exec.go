@@ -21,6 +21,8 @@ func (m *Machine) HandleEvent(ev sim.Event) {
 		m.handleMemDone(ev.Node, ev.Arg)
 	case sim.KindWake, sim.KindIODone:
 		m.wakeThread(int32(ev.Arg))
+	case sim.KindDrain:
+		m.handleDrain()
 	}
 }
 
@@ -113,6 +115,7 @@ func (m *Machine) handleBusGrant() {
 	req := m.bus.q[0]
 	m.bus.q = m.bus.q[1:]
 	m.bus.freeAt = now + m.cfg.BusOccupancyNS
+	m.busDelay.Observe(float64(now - req.issuedAt))
 
 	res := m.snoop.Grant(int(req.cpu), req.block, req.kind)
 	if req.kind == mem.PutM {

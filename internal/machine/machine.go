@@ -13,16 +13,28 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"varsim/internal/config"
 	"varsim/internal/dram"
 	"varsim/internal/kernel"
 	"varsim/internal/mem"
+	"varsim/internal/metrics"
 	"varsim/internal/rng"
 	"varsim/internal/sim"
 	"varsim/internal/trace"
 	"varsim/internal/workload"
 )
+
+// simulatedNS accumulates simulated nanoseconds (= cycles at the
+// modelled 1 GHz clock) advanced by measurement windows across every
+// machine in the process. Harness drivers read it to report sim-cycles
+// per wall second; it never feeds back into simulation.
+var simulatedNS atomic.Int64
+
+// SimulatedCycles returns the process-wide total of simulated cycles
+// advanced so far.
+func SimulatedCycles() int64 { return simulatedNS.Load() }
 
 // Tunables of the OS/lock glue (in ns / counts). They are constants of
 // the model, not experiment variables.
@@ -65,18 +77,6 @@ type Result struct {
 	Steals          uint64
 	LockContentions uint64
 	Events          uint64
-}
-
-type counters struct {
-	l1d, l1i, l2   uint64
-	busReqs        uint64
-	c2c, memf, wb  uint64
-	switches       uint64
-	preempts       uint64
-	steals         uint64
-	lockContention uint64
-	instrs         int64
-	events         uint64
 }
 
 type busReq struct {
@@ -148,6 +148,13 @@ type Machine struct {
 	schedTrace []SchedEvent
 	tracer     *trace.Buffer
 
+	// Metrics: every machine wires a registry of named instruments over
+	// its components (see wireMetrics); the sampler is non-nil only when
+	// interval sampling is enabled.
+	reg      *metrics.Registry
+	sampler  *metrics.Sampler
+	busDelay *metrics.Histogram
+
 	maxEvents uint64
 }
 
@@ -214,6 +221,7 @@ func New(cfg config.Config, wl workload.Instance, perturbSeed uint64) (*Machine,
 		}
 		m.scheduleStep(int32(i), 0)
 	}
+	m.wireMetrics()
 	return m, nil
 }
 
@@ -249,55 +257,18 @@ func (m *Machine) Config() config.Config { return m.cfg }
 // Workload returns the machine's workload instance.
 func (m *Machine) Workload() workload.Instance { return m.wl }
 
-func (m *Machine) snapCounters() counters {
-	return counters{
-		l1d: m.l1dMisses(), l1i: m.l1iMisses(), l2: m.l2Misses(),
-		busReqs: m.bus.reqs, c2c: m.snoop.CacheToCache,
-		memf: m.snoop.MemFetches, wb: m.snoop.Writebacks,
-		switches: m.totalSwitches(), preempts: m.os.Preempts,
-		steals: m.os.Steals, lockContention: m.totalContentions(),
-		instrs: m.instrs, events: m.eng.Steps(),
-	}
-}
+// snapCounters captures the registry's current cumulative readings;
+// result computes a measurement window as the delta of two snapshots.
+// The registry replaces the private per-subsystem counter structs the
+// machine used to keep: every counter here is a named, discoverable
+// instrument.
+func (m *Machine) snapCounters() metrics.Snapshot { return m.reg.Snapshot() }
 
-func (m *Machine) l1dMisses() (n uint64) {
-	for _, nd := range m.snoop.Nodes {
-		n += nd.L1D.Misses
-	}
-	return
-}
-
-func (m *Machine) l1iMisses() (n uint64) {
-	for _, nd := range m.snoop.Nodes {
-		n += nd.L1I.Misses
-	}
-	return
-}
-
-func (m *Machine) l2Misses() (n uint64) {
-	for _, nd := range m.snoop.Nodes {
-		n += nd.L2.Misses
-	}
-	return
-}
-
-func (m *Machine) totalSwitches() (n uint64) {
-	for i := range m.os.Threads {
-		n += m.os.Threads[i].Switches
-	}
-	return
-}
-
-func (m *Machine) totalContentions() (n uint64) {
-	for i := range m.os.Locks {
-		n += m.os.Locks[i].Contentions
-	}
-	return
-}
-
-func (m *Machine) result(start counters, startNS, endNS int64, txns int64) Result {
+func (m *Machine) result(start metrics.Snapshot, startNS, endNS int64, txns int64) Result {
 	end := m.snapCounters()
+	d := func(name string) uint64 { return uint64(end.Delta(start, name)) }
 	elapsed := endNS - startNS
+	simulatedNS.Add(elapsed)
 	cpt := 0.0
 	if txns > 0 {
 		cpt = float64(elapsed) / float64(txns)
@@ -307,21 +278,21 @@ func (m *Machine) result(start counters, startNS, endNS int64, txns int64) Resul
 		ElapsedNS: elapsed,
 		Txns:      txns,
 		CPT:       cpt,
-		Instrs:    end.instrs - start.instrs,
+		Instrs:    int64(end.Delta(start, "machine.instrs")),
 
-		L1DMisses:    end.l1d - start.l1d,
-		L1IMisses:    end.l1i - start.l1i,
-		L2Misses:     end.l2 - start.l2,
-		BusRequests:  end.busReqs - start.busReqs,
-		CacheToCache: end.c2c - start.c2c,
-		MemFetches:   end.memf - start.memf,
-		Writebacks:   end.wb - start.wb,
+		L1DMisses:    d("mem.l1d.misses"),
+		L1IMisses:    d("mem.l1i.misses"),
+		L2Misses:     d("mem.l2.misses"),
+		BusRequests:  d("bus.requests"),
+		CacheToCache: d("snoop.cache_to_cache"),
+		MemFetches:   d("snoop.mem_fetches"),
+		Writebacks:   d("snoop.writebacks"),
 
-		CtxSwitches:     end.switches - start.switches,
-		Preempts:        end.preempts - start.preempts,
-		Steals:          end.steals - start.steals,
-		LockContentions: end.lockContention - start.lockContention,
-		Events:          end.events - start.events,
+		CtxSwitches:     d("os.ctx_switches"),
+		Preempts:        d("os.preempts"),
+		Steals:          d("os.steals"),
+		LockContentions: d("os.lock_contentions"),
+		Events:          d("machine.events"),
 	}
 }
 
@@ -397,6 +368,14 @@ func (m *Machine) Snapshot() *Machine {
 	c.parkedOps = append([]workload.Op(nil), m.parkedOps...)
 	c.parkedOk = append([]bool(nil), m.parkedOk...)
 	c.parkedSpin = append([]int(nil), m.parkedSpin...)
+	// Re-wire the metric registry so the clone's instruments read the
+	// clone's components, then restore owned-instrument state and the
+	// sampled series.
+	c.wireMetrics()
+	c.busDelay.AddFrom(m.busDelay)
+	if m.sampler != nil {
+		c.sampler = m.sampler.CloneInto(c.reg)
+	}
 	return &c
 }
 

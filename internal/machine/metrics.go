@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"varsim/internal/bpred"
+	"varsim/internal/metrics"
+	"varsim/internal/sim"
+)
+
+// busDelayBounds are the bus queueing-delay histogram bucket upper
+// bounds (ns): sub-occupancy waits up to pathological convoys.
+var busDelayBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000}
+
+// wireMetrics builds the machine's metric registry over its live
+// components: every modelled subsystem registers its named instruments.
+// Called at construction and again after Snapshot, because a clone's
+// instruments must read the clone's state, not the original's.
+func (m *Machine) wireMetrics() {
+	reg := metrics.NewRegistry()
+	reg.CounterFunc("machine.instrs", func() uint64 { return uint64(m.instrs) })
+	reg.CounterFunc("machine.txns", func() uint64 { return uint64(m.txnsDone) })
+	reg.CounterFunc("machine.events", func() uint64 { return m.eng.Steps() })
+	reg.CounterFunc("bus.requests", func() uint64 { return m.bus.reqs })
+	reg.GaugeFunc("bus.queue_len", func() float64 { return float64(len(m.bus.q)) })
+	m.busDelay = reg.NewHistogram("bus.queue_delay_ns", busDelayBounds)
+	m.snoop.RegisterMetrics(reg)
+	m.dram.RegisterMetrics(reg)
+	m.disks.RegisterMetrics(reg)
+	m.os.RegisterMetrics(reg)
+	var units []*bpred.Unit
+	for i := range m.cpus {
+		if m.cpus[i].ooo != nil {
+			units = append(units, m.cpus[i].ooo.bp)
+		}
+	}
+	if len(units) > 0 {
+		bpred.RegisterMetrics(reg, units)
+		reg.CounterFunc("ooo.rob_stalls", func() (n uint64) {
+			for i := range m.cpus {
+				if c := m.cpus[i].ooo; c != nil {
+					n += c.ROBStalls
+				}
+			}
+			return
+		})
+		reg.CounterFunc("ooo.mshr_stalls", func() (n uint64) {
+			for i := range m.cpus {
+				if c := m.cpus[i].ooo; c != nil {
+					n += c.MSHRStalls
+				}
+			}
+			return
+		})
+		reg.CounterFunc("ooo.mispredict_stalls", func() (n uint64) {
+			for i := range m.cpus {
+				if c := m.cpus[i].ooo; c != nil {
+					n += c.MispredictStalls
+				}
+			}
+			return
+		})
+	}
+	m.reg = reg
+}
+
+// Metrics returns the machine's metric registry. Every machine has one:
+// the components register named instruments at construction, and the
+// windowed Result deltas are computed from registry snapshots.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
+
+// EnableSampling starts interval metric sampling: every intervalNS of
+// simulated time a KindDrain event snapshots the registry into an
+// in-memory time series (per-interval IPC, miss rates, bus utilization
+// and the rest derive from it — the live-instrumentation form of the
+// paper's time-variability figures). Sampling is observation-only: it
+// reads component state and never mutates it, so the simulated
+// trajectory is unchanged (only the delivered-event count includes the
+// drain ticks). Calling it again is a no-op.
+func (m *Machine) EnableSampling(intervalNS int64) {
+	if m.sampler != nil {
+		return
+	}
+	m.sampler = metrics.NewSampler(m.reg, intervalNS)
+	m.sampler.Rebase(m.eng.Now())
+	m.eng.Schedule(intervalNS, sim.KindDrain, 0, 0)
+}
+
+// SamplingEnabled reports whether interval sampling is active.
+func (m *Machine) SamplingEnabled() bool { return m.sampler != nil }
+
+// MetricSeries returns the sampled time series (empty unless
+// EnableSampling was called).
+func (m *Machine) MetricSeries() metrics.TimeSeries {
+	if m.sampler == nil {
+		return metrics.TimeSeries{}
+	}
+	return m.sampler.Series()
+}
+
+// handleDrain services a KindDrain tick: snapshot the registry and
+// re-arm the next tick while the workload is still running.
+func (m *Machine) handleDrain() {
+	if m.sampler == nil {
+		return
+	}
+	m.sampler.Tick(m.eng.Now())
+	if !m.os.AllDone() {
+		m.eng.Schedule(m.sampler.IntervalNS, sim.KindDrain, 0, 0)
+	}
+}

@@ -1,0 +1,44 @@
+package mem
+
+import "varsim/internal/metrics"
+
+// RegisterMetrics registers one cache's counters under prefix (e.g.
+// "mem.l2.0") into reg.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+".hits", func() uint64 { return c.Hits })
+	reg.CounterFunc(prefix+".misses", func() uint64 { return c.Misses })
+	reg.CounterFunc(prefix+".evictions", func() uint64 { return c.Evictions })
+}
+
+// RegisterMetrics registers the coherence-protocol counters and the
+// node-aggregated cache hierarchy counters into reg. Per-level accesses
+// (hits+misses) are registered alongside misses so per-interval miss
+// rates fall out of a Ratio over the sampled series.
+func (s *Snooper) RegisterMetrics(reg *metrics.Registry) {
+	sum := func(pick func(*NodeCaches) *Cache, read func(*Cache) uint64) func() uint64 {
+		return func() (n uint64) {
+			for _, nd := range s.Nodes {
+				n += read(pick(nd))
+			}
+			return
+		}
+	}
+	for _, lvl := range []struct {
+		name string
+		pick func(*NodeCaches) *Cache
+	}{
+		{"mem.l1i", func(n *NodeCaches) *Cache { return n.L1I }},
+		{"mem.l1d", func(n *NodeCaches) *Cache { return n.L1D }},
+		{"mem.l2", func(n *NodeCaches) *Cache { return n.L2 }},
+	} {
+		reg.CounterFunc(lvl.name+".hits", sum(lvl.pick, func(c *Cache) uint64 { return c.Hits }))
+		reg.CounterFunc(lvl.name+".misses", sum(lvl.pick, func(c *Cache) uint64 { return c.Misses }))
+		reg.CounterFunc(lvl.name+".accesses", sum(lvl.pick, func(c *Cache) uint64 { return c.Hits + c.Misses }))
+		reg.CounterFunc(lvl.name+".evictions", sum(lvl.pick, func(c *Cache) uint64 { return c.Evictions }))
+	}
+	reg.CounterFunc("snoop.cache_to_cache", func() uint64 { return s.CacheToCache })
+	reg.CounterFunc("snoop.mem_fetches", func() uint64 { return s.MemFetches })
+	reg.CounterFunc("snoop.upgrades", func() uint64 { return s.Upgrades })
+	reg.CounterFunc("snoop.invalidations", func() uint64 { return s.Invals })
+	reg.CounterFunc("snoop.writebacks", func() uint64 { return s.Writebacks })
+}

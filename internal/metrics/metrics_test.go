@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("a.count")
+	g := r.NewGauge("a.level")
+	c.Inc()
+	c.Add(4)
+	g.Set(2.5)
+	if c.Count() != 5 || c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Count())
+	}
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	if c.Kind() != KindCounter || g.Kind() != KindGauge {
+		t.Fatal("wrong kinds")
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	var raw uint64
+	lvl := 3.0
+	r.CounterFunc("x.count", func() uint64 { return raw })
+	r.GaugeFunc("x.level", func() float64 { return lvl })
+	raw = 7
+	s := r.Snapshot()
+	if s["x.count"] != 7 || s["x.level"] != 3 {
+		t.Fatalf("snapshot = %v", s)
+	}
+	lvl = 9
+	if r.Get("x.level").Value() != 9 {
+		t.Fatal("gauge func not live")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", []float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 10, 50, 200, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Counts(); !reflect.DeepEqual(got, []uint64{3, 1, 1, 1}) {
+		t.Fatalf("buckets = %v", got)
+	}
+	if h.Sum() != 5266 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if m := h.Mean(); math.Abs(m-5266.0/6) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %v (overflow reports last bound)", q)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram should read 0")
+	}
+}
+
+func TestRegistryNamesSortedAndDupPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("z")
+	r.NewCounter("a")
+	r.NewCounter("m")
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Fatalf("names = %v", got)
+	}
+	var order []string
+	r.Each(func(in Instrument) { order = append(order, in.Name()) })
+	if !reflect.DeepEqual(order, []string{"a", "m", "z"}) {
+		t.Fatalf("Each order = %v", order)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.NewCounter("a")
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || s == "invalid" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if numKinds.String() != "invalid" {
+		t.Fatal("out-of-range kind should be invalid")
+	}
+}
+
+func TestSamplerSeriesAndDerived(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("instrs")
+	d := r.NewCounter("misses")
+	a := r.NewCounter("accesses")
+	s := NewSampler(r, 100)
+	for i := 1; i <= 3; i++ {
+		c.Add(uint64(100 * i)) // 100, 300, 600 cumulative
+		d.Add(uint64(i))       // 1, 3, 6
+		a.Add(10)              // 10, 20, 30
+		s.Tick(int64(100 * i))
+	}
+	ts := s.Series()
+	if ts.Len() != 3 || ts.IntervalNS != 100 {
+		t.Fatalf("series %d samples interval %d", ts.Len(), ts.IntervalNS)
+	}
+	if got := ts.Levels("instrs"); !reflect.DeepEqual(got, []float64{100, 300, 600}) {
+		t.Fatalf("levels = %v", got)
+	}
+	if got := ts.Delta("instrs"); !reflect.DeepEqual(got, []float64{100, 200, 300}) {
+		t.Fatalf("deltas = %v", got)
+	}
+	if got := ts.DeltaTime(); !reflect.DeepEqual(got, []float64{100, 100, 100}) {
+		t.Fatalf("dt = %v", got)
+	}
+	if got := ts.PerCycle("instrs"); !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("IPC = %v", got)
+	}
+	want := []float64{1.0 / 10, 2.0 / 10, 3.0 / 10}
+	if got := ts.Ratio("misses", "accesses"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("miss rate = %v", got)
+	}
+	if got := ts.Ratio("misses", "nonexistent"); !reflect.DeepEqual(got, []float64{0, 0, 0}) {
+		t.Fatalf("ratio by zero = %v", got)
+	}
+}
+
+func TestSamplerCloneIsIndependent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("n")
+	s := NewSampler(r, 10)
+	c.Inc()
+	s.Tick(10)
+
+	r2 := NewRegistry()
+	c2 := r2.NewCounter("n")
+	cp := s.CloneInto(r2)
+	c2.Add(5)
+	cp.Tick(20)
+	if s.Len() != 1 || cp.Len() != 2 {
+		t.Fatalf("lens %d %d", s.Len(), cp.Len())
+	}
+	// Mutating the clone's first sample must not touch the original.
+	cp.samples[0].Values["n"] = 99
+	if s.samples[0].Values["n"] != 1 {
+		t.Fatal("clone shares sample maps")
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("b.count")
+	g := r.NewGauge("a.level")
+	s := NewSampler(r, 50)
+	for i := 1; i <= 4; i++ {
+		c.Add(3)
+		g.Set(float64(i) / 2)
+		s.Tick(int64(50 * i))
+	}
+	ts := s.Series()
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IntervalNS != 50 || !reflect.DeepEqual(got.Names, ts.Names) {
+		t.Fatalf("round trip header: %+v", got)
+	}
+	for i := range ts.Samples {
+		if got.Samples[i].TimeNS != ts.Samples[i].TimeNS ||
+			!reflect.DeepEqual(got.Samples[i].Values, ts.Samples[i].Values) {
+			t.Fatalf("sample %d: %+v != %+v", i, got.Samples[i], ts.Samples[i])
+		}
+	}
+}
+
+func TestSeriesJSONL(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("n")
+	s := NewSampler(r, 5)
+	c.Inc()
+	s.Tick(5)
+	c.Inc()
+	s.Tick(10)
+	var buf bytes.Buffer
+	if err := s.Series().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 samples, got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"interval_ns":5`) {
+		t.Fatalf("header = %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"time_ns":10`) {
+		t.Fatalf("sample = %s", lines[2])
+	}
+}

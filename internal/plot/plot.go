@@ -270,6 +270,79 @@ func Histogram(title string, xs []float64, buckets, width int) string {
 	return b.String()
 }
 
+// sparkRamp is the 8-level block ramp used by Sparkline.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders ys as a one-line height-coded series — the compact
+// idiom for per-interval metric traces (IPC, miss rate) sampled by the
+// metrics registry. width > 0 resamples the series to that many cells
+// (linear interpolation); width <= 0 keeps one cell per sample.
+func Sparkline(ys []float64, width int) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	if width > 0 && width != len(ys) {
+		ys = resample(ys, width)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, y := range ys {
+		i := 0
+		if span > 0 {
+			i = int((y - lo) / span * float64(len(sparkRamp)-1))
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkRamp) {
+			i = len(sparkRamp) - 1
+		}
+		b.WriteRune(sparkRamp[i])
+	}
+	return b.String()
+}
+
+// SparklineLabeled renders a sparkline with its name and min/max range,
+// e.g. "ipc      ▁▂▅█▃  [0.12 .. 0.87]".
+func SparklineLabeled(label string, ys []float64, width int) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	return fmt.Sprintf("%-16s %s  [%.4g .. %.4g]", label, Sparkline(ys, width), lo, hi)
+}
+
+// resample linearly interpolates ys onto n evenly spaced points.
+func resample(ys []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(ys) == 1 {
+		for i := range out {
+			out[i] = ys[0]
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		pos := float64(i) / float64(max(n-1, 1)) * float64(len(ys)-1)
+		i0 := int(pos)
+		if i0 >= len(ys)-1 {
+			out[i] = ys[len(ys)-1]
+			continue
+		}
+		frac := pos - float64(i0)
+		out[i] = ys[i0]*(1-frac) + ys[i0+1]*frac
+	}
+	return out
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

@@ -1,0 +1,79 @@
+// Package profile wires Go's built-in profilers into the simulator's
+// command-line tools: CPU profiles, heap profiles and execution traces,
+// gated behind -cpuprofile/-memprofile/-trace flags in cmd/varsim and
+// cmd/experiments.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins CPU profiling and/or execution tracing to the given
+// paths (either may be empty) and returns a stop function that flushes
+// and closes them. The stop function is safe to call exactly once.
+func Start(cpuPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			firstErr = cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// WriteHeap writes an up-to-date heap profile to path.
+func WriteHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	runtime.GC() // get up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat periodically prints run progress to w (normally stderr):
+// experiments completed, elapsed wall clock, simulated-cycle throughput
+// and an ETA extrapolated from per-experiment pace. It exists so that
+// multi-minute `full` harness runs are visibly alive.
+type Heartbeat struct {
+	w         io.Writer
+	total     int
+	done      atomic.Int64
+	start     time.Time
+	simCycles func() int64
+	simStart  int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartHeartbeat begins emitting a progress line to w every period.
+// total is the number of experiments expected (0 disables the ETA);
+// simCycles, when non-nil, reads the process-wide simulated-cycle
+// counter for throughput reporting. Call Stop when done.
+func StartHeartbeat(w io.Writer, period time.Duration, total int, simCycles func() int64) *Heartbeat {
+	h := &Heartbeat{
+		w:         w,
+		total:     total,
+		start:     time.Now(),
+		simCycles: simCycles,
+		stop:      make(chan struct{}),
+	}
+	if simCycles != nil {
+		h.simStart = simCycles()
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				fmt.Fprintln(h.w, h.Line())
+			}
+		}
+	}()
+	return h
+}
+
+// Advance records n more completed experiments.
+func (h *Heartbeat) Advance(n int) { h.done.Add(int64(n)) }
+
+// Line renders the current progress line.
+func (h *Heartbeat) Line() string {
+	done := h.done.Load()
+	elapsed := time.Since(h.start).Round(time.Second)
+	s := fmt.Sprintf("heartbeat: %d/%d experiments, elapsed %s", done, h.total, elapsed)
+	if h.simCycles != nil {
+		cycles := h.simCycles() - h.simStart
+		if secs := time.Since(h.start).Seconds(); secs > 0 && cycles > 0 {
+			s += fmt.Sprintf(", %.3g sim-cycles/s", float64(cycles)/secs)
+		}
+	}
+	if h.total > 0 && done > 0 && done < int64(h.total) {
+		eta := time.Duration(float64(time.Since(h.start)) / float64(done) * float64(int64(h.total)-done)).Round(time.Second)
+		s += fmt.Sprintf(", ETA ~%s", eta)
+	}
+	return s
+}
+
+// Stop ends the ticker goroutine (idempotent).
+func (h *Heartbeat) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.wg.Wait()
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest records a run's provenance: what was run, with which
+// configuration and seeds, on what host and toolchain, and how fast —
+// so any exported table or time series can be traced back to the exact
+// run that produced it and throughput regressions show up in the
+// artifact trail.
+type Manifest struct {
+	Tool       string   `json:"tool"`               // binary name, e.g. "varsim"
+	Args       []string `json:"args,omitempty"`     // command line as invoked
+	Seed       uint64   `json:"seed"`               // workload identity seed
+	ConfigHash string   `json:"config_hash"`        // hash of the resolved configuration
+	Quick      bool     `json:"quick,omitempty"`    // scaled-down smoke run
+	GoVersion  string   `json:"go_version"`         // runtime.Version()
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Host       string   `json:"host,omitempty"`     // os.Hostname()
+	StartTime  string   `json:"start_time"`         // RFC 3339
+	EndTime    string   `json:"end_time,omitempty"` // RFC 3339, set by Finish
+	WallSecs   float64  `json:"wall_seconds"`       // total wall clock, set by Finish
+
+	// SimCycles is the simulated cycles advanced during the run;
+	// SimCyclesPerSec the resulting throughput (cycles are nanoseconds at
+	// the modelled 1 GHz clock).
+	SimCycles       int64   `json:"sim_cycles,omitempty"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+
+	Experiments []ExperimentRun `json:"experiments,omitempty"`
+
+	start     time.Time
+	simCycles func() int64 // process-wide simulated-cycle reader
+	simStart  int64
+}
+
+// ExperimentRun is one experiment's slice of the manifest.
+type ExperimentRun struct {
+	Name            string  `json:"name"`
+	WallSecs        float64 `json:"wall_seconds"`
+	SimCycles       int64   `json:"sim_cycles,omitempty"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamping toolchain,
+// host and start time. simCycles, when non-nil, reads the process-wide
+// simulated-cycle counter (machine.SimulatedCycles) so Finish and
+// AddExperiment can report throughput.
+func NewManifest(tool string, seed uint64, simCycles func() int64) *Manifest {
+	host, _ := os.Hostname()
+	now := time.Now()
+	m := &Manifest{
+		Tool:      tool,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Host:      host,
+		StartTime: now.UTC().Format(time.RFC3339),
+		start:     now,
+		simCycles: simCycles,
+	}
+	if simCycles != nil {
+		m.simStart = simCycles()
+	}
+	return m
+}
+
+// AddExperiment records one finished experiment: wall time, the
+// simulated cycles it advanced, and its throughput. errMsg is non-empty
+// when the experiment failed.
+func (m *Manifest) AddExperiment(name string, wall time.Duration, simCycles int64, errMsg string) {
+	e := ExperimentRun{Name: name, WallSecs: wall.Seconds(), SimCycles: simCycles, Error: errMsg}
+	if wall > 0 && simCycles > 0 {
+		e.SimCyclesPerSec = float64(simCycles) / wall.Seconds()
+	}
+	m.Experiments = append(m.Experiments, e)
+}
+
+// Finish stamps the end time, total wall clock and overall throughput.
+func (m *Manifest) Finish() {
+	now := time.Now()
+	m.EndTime = now.UTC().Format(time.RFC3339)
+	m.WallSecs = now.Sub(m.start).Seconds()
+	if m.simCycles != nil {
+		m.SimCycles = m.simCycles() - m.simStart
+		if m.WallSecs > 0 {
+			m.SimCyclesPerSec = float64(m.SimCycles) / m.WallSecs
+		}
+	}
+}
+
+// Write emits the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ConfigHash returns a short stable hash of any JSON-encodable
+// configuration value, for manifest provenance. Two runs with equal
+// hashes ran byte-identical configurations.
+func ConfigHash(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "unhashable"
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

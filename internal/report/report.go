@@ -43,11 +43,17 @@ func (c *Collector) Add(experiment, header string, rows [][]string) {
 // Tables returns the captured tables.
 func (c *Collector) Tables() []Table { return c.tables }
 
-// WriteJSON emits all captured tables as one JSON document.
+// WriteJSON emits all captured tables as one JSON document (an empty
+// array, not null, when nothing was captured — e.g. when every
+// experiment failed before printing a table).
 func (c *Collector) WriteJSON(w io.Writer) error {
+	tables := c.tables
+	if tables == nil {
+		tables = []Table{}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(c.tables)
+	return enc.Encode(tables)
 }
 
 // WriteCSVDir writes one CSV file per experiment into dir (tables from

@@ -1,0 +1,263 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// An empty collector must still export valid documents: a JSON empty
+// array and zero CSV files, so a run where every experiment failed
+// before printing leaves parseable artifacts.
+func TestExportEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []Table
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatal(err)
+	}
+	if tables == nil || len(tables) != 0 {
+		t.Fatalf("empty collector JSON = %q, want []", buf.String())
+	}
+	dir := t.TempDir()
+	files, err := c.WriteCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("empty collector wrote %v", files)
+	}
+}
+
+// A header-only table (zero rows) round-trips as just its header.
+func TestExportHeaderOnlyTable(t *testing.T) {
+	c := NewCollector()
+	c.Add("empty", "col1\tcol2", nil)
+	dir := t.TempDir()
+	files, err := c.WriteCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("wrote %v", files)
+	}
+	recs := readCSV(t, files[0])
+	if len(recs) != 1 || recs[0][0] != "col1" || recs[0][1] != "col2" {
+		t.Fatalf("header-only CSV = %v", recs)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []Table
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 0 {
+		t.Fatalf("header-only JSON = %+v", tables)
+	}
+}
+
+// Cells containing commas, quotes, tabs and newlines must survive both
+// export formats byte-for-byte.
+func TestRoundTripSpecialCells(t *testing.T) {
+	tricky := [][]string{
+		{"a,b", `quote " inside`, "tab\tinside"},
+		{"newline\ninside", "plain", "trailing space "},
+	}
+	c := NewCollector()
+	c.Add("special", "x\ty\tz", tricky)
+
+	dir := t.TempDir()
+	files, err := c.WriteCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := readCSV(t, files[0])
+	if len(recs) != 3 {
+		t.Fatalf("got %d CSV records", len(recs))
+	}
+	for i, row := range tricky {
+		for j, want := range row {
+			if recs[i+1][j] != want {
+				t.Errorf("CSV cell [%d][%d] = %q, want %q", i, j, recs[i+1][j], want)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []Table
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tricky {
+		for j, want := range row {
+			if tables[0].Rows[i][j] != want {
+				t.Errorf("JSON cell [%d][%d] = %q, want %q", i, j, tables[0].Rows[i][j], want)
+			}
+		}
+	}
+}
+
+// A multi-experiment, multi-table run exports every table with stable
+// per-experiment numbering and preserved order.
+func TestMultiTableRun(t *testing.T) {
+	c := NewCollector()
+	c.Add("table1", "a\tb", [][]string{{"1", "2"}})
+	c.Add("fig9", "x", [][]string{{"9"}})
+	c.Add("table1", "c\td", [][]string{{"3", "4"}})
+
+	dir := t.TempDir()
+	files, err := c.WriteCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range files {
+		names = append(names, filepath.Base(f))
+	}
+	want := []string{"table1_1.csv", "fig9_1.csv", "table1_2.csv"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("files = %v, want %v", names, want)
+		}
+	}
+	if recs := readCSV(t, files[2]); recs[1][1] != "4" {
+		t.Fatalf("second table1 CSV content wrong: %v", recs)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tables []Table
+	if err := json.Unmarshal(buf.Bytes(), &tables); err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 || tables[1].Experiment != "fig9" || tables[2].Rows[0][0] != "3" {
+		t.Fatalf("JSON order/content wrong: %+v", tables)
+	}
+}
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestManifest exercises the provenance manifest end to end: stamping,
+// per-experiment entries, throughput math, and the JSON round trip.
+func TestManifest(t *testing.T) {
+	cycles := int64(1000)
+	m := NewManifest("testtool", 42, func() int64 { return cycles })
+	m.Args = []string{"-quick"}
+	m.ConfigHash = ConfigHash(map[string]int{"cpus": 16})
+	m.AddExperiment("good", 2*time.Second, 4_000_000, "")
+	m.AddExperiment("bad", time.Second, 0, "boom")
+	cycles = 5_001_000 // 5M simulated cycles advanced since NewManifest
+	m.Finish()
+
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "testtool" || got.Seed != 42 {
+		t.Fatalf("identity wrong: %+v", got)
+	}
+	if got.GoVersion == "" || got.GOOS == "" || got.StartTime == "" || got.EndTime == "" {
+		t.Fatalf("toolchain/time stamps missing: %+v", got)
+	}
+	if _, err := time.Parse(time.RFC3339, got.StartTime); err != nil {
+		t.Fatalf("start time not RFC3339: %v", err)
+	}
+	if got.SimCycles != 5_000_000 {
+		t.Fatalf("SimCycles = %d, want 5000000", got.SimCycles)
+	}
+	if len(got.Experiments) != 2 {
+		t.Fatalf("experiments = %+v", got.Experiments)
+	}
+	if e := got.Experiments[0]; e.SimCyclesPerSec != 2_000_000 {
+		t.Fatalf("throughput = %v, want 2e6", e.SimCyclesPerSec)
+	}
+	if e := got.Experiments[1]; e.Error != "boom" || e.SimCyclesPerSec != 0 {
+		t.Fatalf("failed experiment recorded wrong: %+v", e)
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := NewManifest("t", 1, nil)
+	m.Finish()
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatalf("manifest file is not valid JSON: %s", b)
+	}
+}
+
+func TestConfigHash(t *testing.T) {
+	a := ConfigHash(map[string]int{"x": 1})
+	b := ConfigHash(map[string]int{"x": 1})
+	c := ConfigHash(map[string]int{"x": 2})
+	if a != b {
+		t.Fatalf("hash not stable: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Fatal("different configs hashed equal")
+	}
+	if len(a) != 16 {
+		t.Fatalf("hash %q not 16 hex chars", a)
+	}
+	if ConfigHash(func() {}) != "unhashable" {
+		t.Fatal("unencodable value not flagged")
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	var buf bytes.Buffer
+	cycles := int64(0)
+	h := StartHeartbeat(&buf, time.Hour, 4, func() int64 { return cycles })
+	cycles = 1_000_000
+	h.Advance(2)
+	line := h.Line()
+	if !strings.Contains(line, "2/4 experiments") {
+		t.Fatalf("Line() = %q, want progress 2/4", line)
+	}
+	if !strings.Contains(line, "sim-cycles/s") {
+		t.Fatalf("Line() = %q, want throughput", line)
+	}
+	if !strings.Contains(line, "ETA") {
+		t.Fatalf("Line() = %q, want an ETA mid-run", line)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// TestKindNamesComplete asserts every declared event kind has a real
+// name: adding a kind without extending kindNames is a test failure,
+// not a silent "invalid" in traces and logs.
+func TestKindNamesComplete(t *testing.T) {
+	want := map[Kind]string{
+		KindNone:     "none",
+		KindCPUStep:  "cpu-step",
+		KindBusGrant: "bus-grant",
+		KindMemDone:  "mem-done",
+		KindTimer:    "timer",
+		KindWake:     "wake",
+		KindIODone:   "io-done",
+		KindDrain:    "drain",
+	}
+	if len(want) != int(numKinds) {
+		t.Fatalf("test table has %d kinds, simulator declares %d — update the test", len(want), numKinds)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		got := k.String()
+		if got == "" || got == "invalid" {
+			t.Errorf("Kind(%d).String() = %q, want a real name", k, got)
+		}
+		if w, ok := want[k]; ok && got != w {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, w)
+		}
+	}
+	if got := numKinds.String(); got != "invalid" {
+		t.Errorf("Kind(numKinds).String() = %q, want \"invalid\"", got)
+	}
+	if got := Kind(200).String(); got != "invalid" {
+		t.Errorf("Kind(200).String() = %q, want \"invalid\"", got)
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+// TestKindNamesComplete asserts every declared trace-event kind has a
+// real name, so lock reports and timelines never print "invalid" for a
+// kind someone added without naming.
+func TestKindNamesComplete(t *testing.T) {
+	want := map[Kind]string{
+		Dispatch:      "dispatch",
+		Block:         "block",
+		Wake:          "wake",
+		LockAcquire:   "lock-acquire",
+		LockContended: "lock-contended",
+		LockRelease:   "lock-release",
+		TxnEnd:        "txn-end",
+	}
+	if len(want) != int(numKinds) {
+		t.Fatalf("test table has %d kinds, trace declares %d — update the test", len(want), numKinds)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		got := k.String()
+		if got == "" || got == "invalid" {
+			t.Errorf("Kind(%d).String() = %q, want a real name", k, got)
+		}
+		if w, ok := want[k]; ok && got != w {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, w)
+		}
+	}
+	if got := numKinds.String(); got != "invalid" {
+		t.Errorf("Kind(numKinds).String() = %q, want \"invalid\"", got)
+	}
+}

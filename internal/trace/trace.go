@@ -35,15 +35,24 @@ const (
 	numKinds
 )
 
+// kindNames names every trace-event kind, keyed by constant so the
+// table can't silently drift out of order; the test suite asserts it
+// stays complete as kinds are added.
+var kindNames = [numKinds]string{
+	Dispatch:      "dispatch",
+	Block:         "block",
+	Wake:          "wake",
+	LockAcquire:   "lock-acquire",
+	LockContended: "lock-contended",
+	LockRelease:   "lock-release",
+	TxnEnd:        "txn-end",
+}
+
 func (k Kind) String() string {
-	names := [...]string{
-		"dispatch", "block", "wake",
-		"lock-acquire", "lock-contended", "lock-release", "txn-end",
+	if k >= numKinds || kindNames[k] == "" {
+		return "invalid"
 	}
-	if int(k) < len(names) {
-		return names[k]
-	}
-	return "invalid"
+	return kindNames[k]
 }
 
 // BlockReason is carried in Event.Arg for Block events.

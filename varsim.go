@@ -44,6 +44,7 @@ import (
 	"varsim/internal/core"
 	"varsim/internal/harness"
 	"varsim/internal/machine"
+	"varsim/internal/metrics"
 	"varsim/internal/stats"
 	"varsim/internal/trace"
 	"varsim/internal/workload"
@@ -155,6 +156,29 @@ func NewMachine(cfg Config, wl Workload, perturbSeed uint64) (*Machine, error) {
 func BranchSpace(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64) (Space, error) {
 	return core.BranchSpace(checkpoint, label, n, measureTxns, seedBase)
 }
+
+// MetricsRegistry is the typed registry of named counters, gauges and
+// histograms every machine wires over its components (see
+// Machine.Metrics).
+type MetricsRegistry = metrics.Registry
+
+// MetricSeries is an interval-sampled metric time series (see
+// Machine.EnableSampling and SampleRun).
+type MetricSeries = metrics.TimeSeries
+
+// SampleRun branches one perturbed run of measureTxns transactions from
+// a warmed checkpoint machine with the metrics registry sampled every
+// intervalNS of simulated time, returning the run's measurement and the
+// sampled series — live instrumentation for the paper's per-interval
+// figures.
+func SampleRun(checkpoint *Machine, measureTxns int64, perturbSeed uint64, intervalNS int64) (Result, MetricSeries, error) {
+	return core.SampleRun(checkpoint, measureTxns, perturbSeed, intervalNS)
+}
+
+// SimulatedCycles returns the process-wide total of simulated cycles
+// advanced by measurement windows — the numerator of the
+// sim-cycles-per-second throughput the run manifests report.
+func SimulatedCycles() int64 { return machine.SimulatedCycles() }
 
 // WCR computes the Wrong Conclusion Ratio (§4.1): the fraction of all
 // single-run comparison pairs that contradict the relationship between
