@@ -1,8 +1,8 @@
 # Build/test entry points. `make check` is the tier-1 flow: build,
-# vet, full tests, plus the race detector over the event kernel and the
-# metrics registry (the two packages with concurrency-sensitive state —
-# the heartbeat goroutine and the process-wide cycle counter ride on
-# them).
+# vet, full tests, plus the race detector over the packages with
+# concurrency-sensitive state (the event kernel, the metrics registry
+# and its process-wide cycle counter, the heartbeat goroutine, the
+# trace buffer, and the live observability server).
 
 GO ?= go
 
@@ -25,7 +25,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/metrics ./internal/report
+	$(GO) test -race ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs
 
 check: vet test race
 	$(GO) build ./...

@@ -12,7 +12,9 @@
 //
 // Observability: -manifest writes a run-provenance JSON (seeds, config
 // hash, toolchain, per-experiment wall clock and simulated-cycle
-// throughput), -heartbeat prints periodic progress to stderr, and
+// throughput), -heartbeat prints periodic progress to stderr, -http
+// serves live progress (/status), Prometheus metrics (/metrics), the
+// fleet throughput series (/series), pprof and an HTML dashboard, and
 // -cpuprofile/-memprofile/-trace enable Go's profilers. Captured tables
 // and the manifest are flushed even when an experiment fails.
 package main
@@ -25,6 +27,7 @@ import (
 
 	"varsim/internal/harness"
 	"varsim/internal/machine"
+	"varsim/internal/obs"
 	"varsim/internal/profile"
 	"varsim/internal/report"
 )
@@ -37,6 +40,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also export every table as JSON to this file")
 	manifestP := flag.String("manifest", "", "write a run-provenance manifest (JSON) to this file")
 	heartbeat := flag.Duration("heartbeat", 30*time.Second, "stderr progress-line period (0 disables)")
+	httpAddr := flag.String("http", "", "serve live observability on this address (/metrics, /status, /series, /debug/pprof, dashboard at /)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file")
 	traceProf := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -94,11 +98,50 @@ func main() {
 		hb = report.StartHeartbeat(os.Stderr, *heartbeat, len(todo), machine.SimulatedCycles)
 	}
 
+	// Live observability: a fleet tracker fed by the harness progress
+	// callback backs /status, and a wall-clock sampler of the process-wide
+	// simulated-cycle counter backs /series (and the dashboard's
+	// throughput chart). Nothing here runs when -http is unset.
+	var fleet *obs.Fleet
+	if *httpAddr != "" {
+		names := make([]string, len(todo))
+		for i, e := range todo {
+			names[i] = e.Name
+		}
+		fleet = obs.NewFleet(names, machine.SimulatedCycles)
+		pub := obs.NewPublisher()
+		srv, err := obs.Serve(*httpAddr, obs.Options{
+			Publisher: pub,
+			Fleet:     fleet,
+			SimCycles: machine.SimulatedCycles,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		stopSampler := obs.StartSimRateSampler(pub, machine.SimulatedCycles, time.Second)
+		defer stopSampler()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s/\n", srv.Addr())
+	}
+
 	var collector *report.Collector
 	if *csvDir != "" || *jsonOut != "" {
 		collector = report.NewCollector()
 	}
-	h := harness.New(harness.Options{Out: os.Stdout, Seed: *seed, Quick: *quick, Report: collector})
+	h := harness.New(harness.Options{
+		Out: os.Stdout, Seed: *seed, Quick: *quick, Report: collector,
+		OnProgress: func(p harness.Progress) {
+			if p.Done {
+				fleet.Finish(p.Experiment, p.Err)
+				if hb != nil {
+					hb.Advance(1)
+				}
+			} else {
+				fleet.Start(p.Experiment)
+			}
+		},
+	})
 
 	// Run the experiments, remembering the first failure instead of
 	// exiting on it: tables captured so far, the manifest and any
@@ -122,9 +165,6 @@ func main() {
 		}
 		if man != nil {
 			man.AddExperiment(e.Name, wall, simCycles, errMsg)
-		}
-		if hb != nil {
-			hb.Advance(1)
 		}
 		if runErr != nil {
 			break

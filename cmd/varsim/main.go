@@ -10,6 +10,8 @@
 //	varsim -workload oltp -txns 100 -sched-trace
 //	varsim -workload oltp -txns 200 -interval-us 50 -series-csv series.csv
 //	varsim -workload oltp -txns 200 -manifest run.json -cpuprofile cpu.pprof
+//	varsim -workload barnes -runs 2 -perfetto trace.json
+//	varsim -workload oltp -txns 500 -interval-us 50 -http 127.0.0.1:8080
 package main
 
 import (
@@ -23,10 +25,25 @@ import (
 
 	"varsim"
 	"varsim/internal/metrics"
+	"varsim/internal/obs"
 	"varsim/internal/plot"
 	"varsim/internal/profile"
 	"varsim/internal/report"
+	"varsim/internal/traceviz"
 )
+
+// runCfg carries the non-experiment knobs into run().
+type runCfg struct {
+	wlName           string
+	seed, pseed      uint64
+	schedTr, lockRep bool
+	saveRcp, fromRcp string
+	intervalUS       int64
+	seriesCSV        string
+	seriesJSONL      string
+	perfetto         string
+	pub              *obs.Publisher // nil unless -http is set
+}
 
 func main() {
 	var (
@@ -50,6 +67,8 @@ func main() {
 		intervalUS  = flag.Int64("interval-us", 0, "sample the metrics registry every N simulated microseconds and print per-interval sparklines")
 		seriesCSV   = flag.String("series-csv", "", "write the sampled metric time series as CSV to this file")
 		seriesJSONL = flag.String("series-jsonl", "", "write the sampled metric time series as JSON lines to this file")
+		perfetto    = flag.String("perfetto", "", "write a Chrome Trace Event / Perfetto JSON trace of the perturbed runs to this file (load it in ui.perfetto.dev)")
+		httpAddr    = flag.String("http", "", "serve live observability on this address (/metrics, /status, /series, /debug/pprof, dashboard at /)")
 		manifestP   = flag.String("manifest", "", "write a run-provenance manifest (JSON) to this file")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
@@ -71,6 +90,24 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown processor model %q\n", *proc)
 		os.Exit(2)
+	}
+
+	rc := runCfg{
+		wlName: *wlName, seed: *seed, pseed: *pseed,
+		schedTr: *schedTr, lockRep: *lockRep,
+		saveRcp: *saveRcp, fromRcp: *fromRcp,
+		intervalUS: *intervalUS, seriesCSV: *seriesCSV, seriesJSONL: *seriesJSONL,
+		perfetto: *perfetto,
+	}
+	if *httpAddr != "" {
+		rc.pub = obs.NewPublisher()
+		srv, err := obs.Serve(*httpAddr, obs.Options{
+			Publisher: rc.pub,
+			SimCycles: varsim.SimulatedCycles,
+		})
+		fail(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s/\n", srv.Addr())
 	}
 
 	stopProf, err := profile.Start(*cpuProf, *traceProf)
@@ -97,8 +134,7 @@ func main() {
 	// partial run's provenance is still worth keeping.
 	runStart := time.Now()
 	simStart := varsim.SimulatedCycles()
-	runErr := run(e, *wlName, *seed, *pseed, *schedTr, *lockRep,
-		*saveRcp, *fromRcp, *intervalUS, *seriesCSV, *seriesJSONL)
+	runErr := run(e, rc)
 
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
@@ -126,15 +162,13 @@ func main() {
 
 // run executes the selected mode and returns instead of exiting, so
 // main can finalize profiles and the manifest on every path.
-func run(e varsim.Experiment, wlName string, seed, pseed uint64, schedTr, lockRep bool,
-	saveRcp, fromRcp string, intervalUS int64, seriesCSV, seriesJSONL string) error {
-
-	if schedTr || lockRep {
-		wl, err := varsim.NewWorkload(wlName, e.Config, seed)
+func run(e varsim.Experiment, rc runCfg) error {
+	if rc.schedTr || rc.lockRep {
+		wl, err := varsim.NewWorkload(rc.wlName, e.Config, rc.seed)
 		if err != nil {
 			return err
 		}
-		m, err := varsim.NewMachine(e.Config, wl, pseed)
+		m, err := varsim.NewMachine(e.Config, wl, rc.pseed)
 		if err != nil {
 			return err
 		}
@@ -144,12 +178,12 @@ func run(e varsim.Experiment, wlName string, seed, pseed uint64, schedTr, lockRe
 		if err != nil {
 			return err
 		}
-		if schedTr {
+		if rc.schedTr {
 			for _, ev := range m.SchedTrace() {
 				fmt.Printf("%12d ns  cpu%-3d thread %d\n", ev.TimeNS, ev.CPU, ev.Thread)
 			}
 		}
-		if lockRep {
+		if rc.lockRep {
 			fmt.Print(varsim.FormatLockReport(varsim.LockReport(m.Trace().Events()), 20))
 		}
 		printResult(res)
@@ -157,8 +191,8 @@ func run(e varsim.Experiment, wlName string, seed, pseed uint64, schedTr, lockRe
 	}
 
 	var base *varsim.Machine
-	if fromRcp != "" {
-		rcp, err := varsim.LoadRecipe(fromRcp)
+	if rc.fromRcp != "" {
+		rcp, err := varsim.LoadRecipe(rc.fromRcp)
 		if err != nil {
 			return err
 		}
@@ -173,41 +207,76 @@ func run(e varsim.Experiment, wlName string, seed, pseed uint64, schedTr, lockRe
 			return err
 		}
 	}
-	if saveRcp != "" {
-		if err := varsim.SaveRecipe(saveRcp, varsim.RecipeFromExperiment(e)); err != nil {
+	if rc.saveRcp != "" {
+		if err := varsim.SaveRecipe(rc.saveRcp, varsim.RecipeFromExperiment(e)); err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint recipe written to %s\n", saveRcp)
+		fmt.Printf("checkpoint recipe written to %s\n", rc.saveRcp)
+	}
+	if rc.pub != nil {
+		// Publish the warmed registry (names, kinds, warmup totals) and
+		// hook every interval sample; Snapshot propagates the hook into
+		// the branched runs below.
+		rc.pub.PublishRegistry(base.Metrics())
+		base.SetSampleHook(rc.pub.Hook())
 	}
 
-	if intervalUS > 0 {
-		res, ts, err := varsim.SampleRun(base, e.MeasureTxns, pseed, intervalUS*1000)
+	if rc.intervalUS > 0 {
+		intervalNS := rc.intervalUS * 1000
+		if rc.pub != nil {
+			rc.pub.SetSeriesBase(intervalNS, base.Now(), base.Metrics().Snapshot())
+		}
+		res, ts, err := varsim.SampleRun(base, e.MeasureTxns, rc.pseed, intervalNS)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("sampled run: ")
 		printResult(res)
 		printSeries(ts)
-		if seriesCSV != "" {
-			if err := writeSeries(seriesCSV, ts.WriteCSV); err != nil {
+		if rc.seriesCSV != "" {
+			if err := writeSeries(rc.seriesCSV, ts.WriteCSV); err != nil {
 				return err
 			}
-			fmt.Printf("metric series (CSV) written to %s\n", seriesCSV)
+			fmt.Printf("metric series (CSV) written to %s\n", rc.seriesCSV)
 		}
-		if seriesJSONL != "" {
-			if err := writeSeries(seriesJSONL, ts.WriteJSONL); err != nil {
+		if rc.seriesJSONL != "" {
+			if err := writeSeries(rc.seriesJSONL, ts.WriteJSONL); err != nil {
 				return err
 			}
-			fmt.Printf("metric series (JSONL) written to %s\n", seriesJSONL)
+			fmt.Printf("metric series (JSONL) written to %s\n", rc.seriesJSONL)
 		}
-		if e.Runs <= 1 {
+		if e.Runs <= 1 && rc.perfetto == "" {
 			return nil
 		}
 	}
 
-	sp, err := varsim.BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase)
-	if err != nil {
-		return err
+	var sp varsim.Space
+	if rc.perfetto != "" {
+		var traces [][]varsim.TraceEvent
+		var err error
+		sp, traces, err = varsim.BranchTraces(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, 0)
+		if err != nil {
+			return err
+		}
+		runs := make([]traceviz.Run, len(traces))
+		for i, evs := range traces {
+			runs[i] = traceviz.Run{
+				Name:    fmt.Sprintf("%s run %d", e.Label, i),
+				Events:  evs,
+				NumCPUs: e.Config.NumCPUs,
+			}
+		}
+		if err := traceviz.WriteFile(rc.perfetto, runs...); err != nil {
+			return err
+		}
+		fmt.Printf("Perfetto trace (%d runs) written to %s — open it at https://ui.perfetto.dev\n",
+			len(runs), rc.perfetto)
+	} else {
+		var err error
+		sp, err = varsim.BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase)
+		if err != nil {
+			return err
+		}
 	}
 	for i, r := range sp.Results {
 		fmt.Printf("run %2d: ", i)

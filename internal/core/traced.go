@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+
+	"varsim/internal/machine"
+	"varsim/internal/rng"
+	"varsim/internal/trace"
+)
+
+// BranchTraces is BranchSpace with structured tracing enabled on every
+// branched run: n perturbed runs of measureTxns transactions each from
+// the checkpoint machine, returning the space plus each run's event
+// stream (capEvents per run, 0 = unbounded). Seeds derive exactly as in
+// BranchSpace, so run i here reproduces run i there — the traces are
+// the Figure-1 view of the same sample space.
+func BranchTraces(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents int) (Space, [][]trace.Event, error) {
+	sp := Space{Label: label}
+	traces := make([][]trace.Event, 0, n)
+	for i := 0; i < n; i++ {
+		m := checkpoint.Snapshot()
+		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
+		m.EnableTrace(capEvents)
+		res, err := m.Run(measureTxns)
+		if err != nil {
+			return Space{}, nil, fmt.Errorf("core: traced run %d: %w", i, err)
+		}
+		sp.Values = append(sp.Values, res.CPT)
+		sp.Results = append(sp.Results, res)
+		traces = append(traces, m.Trace().Events())
+	}
+	return sp, traces, nil
+}

@@ -150,10 +150,13 @@ type Machine struct {
 
 	// Metrics: every machine wires a registry of named instruments over
 	// its components (see wireMetrics); the sampler is non-nil only when
-	// interval sampling is enabled.
-	reg      *metrics.Registry
-	sampler  *metrics.Sampler
-	busDelay *metrics.Histogram
+	// interval sampling is enabled. sampleHook, when set, observes every
+	// interval sample on the simulation goroutine (live observers bridge
+	// through it — see internal/obs).
+	reg        *metrics.Registry
+	sampler    *metrics.Sampler
+	sampleHook func(nowNS int64, snap metrics.Snapshot)
+	busDelay   *metrics.Histogram
 
 	maxEvents uint64
 }

@@ -87,6 +87,15 @@ func (m *Machine) EnableSampling(intervalNS int64) {
 // SamplingEnabled reports whether interval sampling is active.
 func (m *Machine) SamplingEnabled() bool { return m.sampler != nil }
 
+// SetSampleHook registers fn to observe every interval sample (nil
+// clears it). The hook runs on the simulation goroutine right after the
+// sampler records the sample, receiving the sample's simulated time and
+// the registry snapshot just taken; thread-safe observers (the obs
+// Publisher) hang off it so a live HTTP server never has to touch the
+// single-threaded machine. Snapshot propagates the hook to branched
+// runs, and it costs nothing unless sampling is enabled.
+func (m *Machine) SetSampleHook(fn func(nowNS int64, snap metrics.Snapshot)) { m.sampleHook = fn }
+
 // MetricSeries returns the sampled time series (empty unless
 // EnableSampling was called).
 func (m *Machine) MetricSeries() metrics.TimeSeries {
@@ -102,7 +111,10 @@ func (m *Machine) handleDrain() {
 	if m.sampler == nil {
 		return
 	}
-	m.sampler.Tick(m.eng.Now())
+	smp := m.sampler.Tick(m.eng.Now())
+	if m.sampleHook != nil {
+		m.sampleHook(smp.TimeNS, smp.Values)
+	}
 	if !m.os.AllDone() {
 		m.eng.Schedule(m.sampler.IntervalNS, sim.KindDrain, 0, 0)
 	}

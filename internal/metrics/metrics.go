@@ -18,8 +18,12 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 )
 
 // Kind classifies an instrument.
@@ -316,4 +320,75 @@ type Snapshot map[string]float64
 // Delta returns s[name] - prev[name] (missing names read as 0).
 func (s Snapshot) Delta(prev Snapshot, name string) float64 {
 	return s[name] - prev[name]
+}
+
+// MarshalJSON encodes the snapshot with sorted keys, writing non-finite
+// values as the strings "NaN", "+Inf" and "-Inf": encoding/json rejects
+// those floats outright, but derived ratio instruments legitimately
+// produce them (0/0 utilization, unbounded latency), and dropping a
+// whole series export over one sample is worse than a typed string.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		v := s[k]
+		switch {
+		case math.IsNaN(v):
+			b.WriteString(`"NaN"`)
+		case math.IsInf(v, 1):
+			b.WriteString(`"+Inf"`)
+		case math.IsInf(v, -1):
+			b.WriteString(`"-Inf"`)
+		default:
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON accepts both plain numbers and the non-finite string
+// forms MarshalJSON writes.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw map[string]any
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	out := make(Snapshot, len(raw))
+	for k, v := range raw {
+		switch t := v.(type) {
+		case json.Number:
+			f, err := t.Float64()
+			if err != nil {
+				return err
+			}
+			out[k] = f
+		case string:
+			f, err := strconv.ParseFloat(t, 64)
+			if err != nil {
+				return fmt.Errorf("metrics: snapshot value %q for %q: %w", t, k, err)
+			}
+			out[k] = f
+		default:
+			return fmt.Errorf("metrics: snapshot value for %q is %T, want number or string", k, v)
+		}
+	}
+	*s = out
+	return nil
 }

@@ -217,3 +217,134 @@ func TestSeriesJSONL(t *testing.T) {
 		t.Fatalf("sample = %s", lines[2])
 	}
 }
+
+// TestEmptySeriesExports pins the degenerate case: a series with no
+// samples (sampling enabled, run ended before the first tick) must
+// still export parseable documents and round-trip to an empty series.
+func TestEmptySeriesExports(t *testing.T) {
+	ts := TimeSeries{IntervalNS: 100, Names: []string{"a", "b"}}
+
+	var csvBuf bytes.Buffer
+	if err := ts.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	gotCSV, err := ReadCSVSeries(&csvBuf)
+	if err != nil {
+		t.Fatalf("empty CSV unparseable: %v\n%s", err, csvBuf.String())
+	}
+	if gotCSV.Len() != 0 || !reflect.DeepEqual(gotCSV.Names, ts.Names) {
+		t.Fatalf("empty CSV round trip = %+v", gotCSV)
+	}
+
+	var jlBuf bytes.Buffer
+	if err := ts.WriteJSONL(&jlBuf); err != nil {
+		t.Fatal(err)
+	}
+	gotJL, err := ReadJSONLSeries(&jlBuf)
+	if err != nil {
+		t.Fatalf("empty JSONL unparseable: %v\n%s", err, jlBuf.String())
+	}
+	if gotJL.Len() != 0 || gotJL.IntervalNS != 100 {
+		t.Fatalf("empty JSONL round trip = %+v", gotJL)
+	}
+
+	// Derived series over zero samples are empty, not panics.
+	if len(ts.Delta("a")) != 0 || len(ts.PerCycle("a")) != 0 || len(ts.DeltaTime()) != 0 {
+		t.Fatal("derived series over empty TimeSeries not empty")
+	}
+}
+
+// TestSingleIntervalSeries covers the one-sample series, whose only
+// delta is measured entirely against the baseline epoch — and whose CSV
+// round trip cannot infer IntervalNS (it needs two rows).
+func TestSingleIntervalSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("n")
+	c.Add(7)
+	s := NewSampler(r, 100)
+	s.Rebase(50)
+	c.Add(10)
+	s.Tick(150)
+	ts := s.Series()
+
+	if d := ts.Delta("n"); len(d) != 1 || d[0] != 10 {
+		t.Fatalf("Delta = %v, want [10] (measured against the baseline)", d)
+	}
+	if dt := ts.DeltaTime(); len(dt) != 1 || dt[0] != 100 {
+		t.Fatalf("DeltaTime = %v, want [100]", dt)
+	}
+
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline row exports as the first CSV row, so the parsed series
+	// has two samples and the level sequence 7 -> 17 survives.
+	if got.Len() != 2 || got.Samples[0].Values["n"] != 7 || got.Samples[1].Values["n"] != 17 {
+		t.Fatalf("single-interval CSV round trip = %+v", got)
+	}
+
+	var jl bytes.Buffer
+	if err := ts.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	gotJL, err := ReadJSONLSeries(&jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJL.Len() != 1 || gotJL.BaseTimeNS != 50 || gotJL.Base["n"] != 7 {
+		t.Fatalf("single-interval JSONL round trip = %+v", gotJL)
+	}
+	if d := gotJL.Delta("n"); len(d) != 1 || d[0] != 10 {
+		t.Fatalf("Delta after JSONL round trip = %v, want [10]", d)
+	}
+}
+
+// TestSeriesRoundTripNonFinite checks NaN and ±Inf readings — ratios
+// over empty intervals, saturated gauges — survive both exporters.
+// CSV carries them as strconv's literals; JSONL through Snapshot's
+// string-encoded JSON codec (bare NaN is not valid JSON).
+func TestSeriesRoundTripNonFinite(t *testing.T) {
+	ts := TimeSeries{
+		IntervalNS: 10,
+		Names:      []string{"inf", "nan", "neg"},
+		Samples: []Sample{
+			{TimeNS: 10, Values: Snapshot{"inf": math.Inf(1), "nan": math.NaN(), "neg": math.Inf(-1)}},
+			{TimeNS: 20, Values: Snapshot{"inf": 1, "nan": 2, "neg": -3}},
+		},
+	}
+	check := func(format string, got TimeSeries, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s round trip: %v", format, err)
+		}
+		if got.Len() != 2 {
+			t.Fatalf("%s round trip lost samples: %+v", format, got)
+		}
+		v := got.Samples[0].Values
+		if !math.IsInf(v["inf"], 1) || !math.IsNaN(v["nan"]) || !math.IsInf(v["neg"], -1) {
+			t.Fatalf("%s round trip mangled non-finite values: %v", format, v)
+		}
+		if v := got.Samples[1].Values; v["inf"] != 1 || v["nan"] != 2 || v["neg"] != -3 {
+			t.Fatalf("%s round trip mangled finite values: %v", format, v)
+		}
+	}
+
+	var csvBuf bytes.Buffer
+	if err := ts.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVSeries(&csvBuf)
+	check("CSV", got, err)
+
+	var jlBuf bytes.Buffer
+	if err := ts.WriteJSONL(&jlBuf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadJSONLSeries(&jlBuf)
+	check("JSONL", got, err)
+}

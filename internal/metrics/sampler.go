@@ -45,9 +45,12 @@ func (s *Sampler) Rebase(nowNS int64) {
 	s.base = s.reg.Snapshot()
 }
 
-// Tick records one sample at simulated time nowNS.
-func (s *Sampler) Tick(nowNS int64) {
-	s.samples = append(s.samples, Sample{TimeNS: nowNS, Values: s.reg.Snapshot()})
+// Tick records one sample at simulated time nowNS and returns it, so
+// callers forwarding samples to live observers don't snapshot twice.
+func (s *Sampler) Tick(nowNS int64) Sample {
+	smp := Sample{TimeNS: nowNS, Values: s.reg.Snapshot()}
+	s.samples = append(s.samples, smp)
+	return smp
 }
 
 // Len returns the number of recorded samples.
@@ -218,6 +221,40 @@ func (ts TimeSeries) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ReadJSONLSeries parses WriteJSONL output back into a TimeSeries:
+// the header object, then one sample per line. Non-finite values
+// round-trip through the string forms Snapshot's JSON codec writes.
+func ReadJSONLSeries(r io.Reader) (TimeSeries, error) {
+	dec := json.NewDecoder(r)
+	var head struct {
+		IntervalNS int64    `json:"interval_ns"`
+		BaseTimeNS int64    `json:"base_time_ns"`
+		Names      []string `json:"names"`
+		Base       Snapshot `json:"base"`
+	}
+	if err := dec.Decode(&head); err != nil {
+		return TimeSeries{}, fmt.Errorf("metrics: JSONL series header: %w", err)
+	}
+	ts := TimeSeries{
+		IntervalNS: head.IntervalNS,
+		BaseTimeNS: head.BaseTimeNS,
+		Names:      head.Names,
+		Base:       head.Base,
+	}
+	for {
+		var s Sample
+		err := dec.Decode(&s)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return TimeSeries{}, fmt.Errorf("metrics: JSONL series sample %d: %w", len(ts.Samples), err)
+		}
+		ts.Samples = append(ts.Samples, s)
+	}
+	return ts, nil
 }
 
 // ReadCSVSeries parses WriteCSV output back into a TimeSeries (cumulative

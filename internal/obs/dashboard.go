@@ -1,0 +1,127 @@
+package obs
+
+// dashboardHTML is the embedded live dashboard: it polls /series and
+// /status once a second and charts derived per-interval series (IPC, L2
+// miss rate, simulated-cycle throughput) as inline SVG — no external
+// assets, so it works offline and inside CI artifacts.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>varsim live</title>
+<style>
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 1.5rem; color: #222; background: #fafafa; }
+  h1 { font-size: 1.2rem; margin: 0 0 .25rem; }
+  #status { color: #555; margin-bottom: 1rem; white-space: pre-wrap; }
+  .chart { background: #fff; border: 1px solid #ddd; border-radius: 6px; padding: .5rem .75rem; margin-bottom: 1rem; max-width: 720px; }
+  .chart h2 { font-size: .95rem; margin: 0 0 .25rem; font-weight: 600; }
+  .chart .last { color: #0a7; font-variant-numeric: tabular-nums; }
+  svg { display: block; width: 100%; height: 120px; }
+  polyline { fill: none; stroke: #0a7; stroke-width: 1.5; }
+  .empty { color: #999; font-style: italic; }
+  table { border-collapse: collapse; font-size: .85rem; }
+  td, th { padding: .15rem .6rem; text-align: left; border-bottom: 1px solid #eee; }
+  .done { color: #0a7; } .failed { color: #c33; } .running { color: #07c; font-weight: 600; }
+</style>
+</head>
+<body>
+<h1>varsim live observability</h1>
+<div id="status" class="empty">waiting for /status…</div>
+<div id="charts"></div>
+<div class="chart"><h2>experiments</h2><div id="fleet" class="empty">no fleet</div></div>
+<script>
+"use strict";
+// Chart specs: per-interval delta(num)/delta(den); den "" divides by
+// the interval's simulated-time span (ns) instead — IPC at 1 GHz.
+const SPECS = [
+  {label: "IPC", num: "machine.instrs", den: ""},
+  {label: "L2 miss rate", num: "mem.l2.misses", den: "mem.l2.accesses"},
+  {label: "lock contention / acquire", num: "os.lock_contentions", den: "os.lock_acquisitions"},
+  {label: "sim cycles / interval", num: "sim.cycles", den: null},
+];
+function deltas(samples, base, name) {
+  const out = [];
+  let prev = base && base[name] !== undefined ? num(base[name]) : num(samples[0].values[name]);
+  let first = !(base && base[name] !== undefined);
+  for (const s of samples) {
+    const v = num(s.values[name]);
+    out.push(first ? 0 : v - prev);
+    first = false;
+    prev = v;
+  }
+  return out;
+}
+function num(v) { return typeof v === "string" ? parseFloat(v) : (v ?? 0); }
+function timeDeltas(samples, baseT) {
+  const out = []; let prev = baseT || samples[0].time_ns;
+  for (const s of samples) { out.push(s.time_ns - prev); prev = s.time_ns; }
+  return out;
+}
+function polyline(values, w, h) {
+  const finite = values.filter(v => isFinite(v));
+  if (!finite.length) return "";
+  const max = Math.max(...finite), min = Math.min(0, ...finite);
+  const span = (max - min) || 1;
+  return values.map((v, i) => {
+    const x = values.length > 1 ? i / (values.length - 1) * w : w / 2;
+    const y = h - (isFinite(v) ? (v - min) / span : 0) * (h - 6) - 3;
+    return x.toFixed(1) + "," + y.toFixed(1);
+  }).join(" ");
+}
+function render(series) {
+  const div = document.getElementById("charts");
+  const samples = series.samples || [];
+  if (!samples.length) { div.innerHTML = '<div class="chart empty">no samples yet — run with interval sampling (-interval-us) or keep the sweep going</div>'; return; }
+  const have = new Set(Object.keys(samples[samples.length - 1].values));
+  let html = "";
+  for (const spec of SPECS) {
+    if (!have.has(spec.num) || (spec.den && !have.has(spec.den))) continue;
+    const dn = deltas(samples, series.base, spec.num);
+    const dd = spec.den === "" ? timeDeltas(samples, series.base_time_ns)
+             : spec.den ? deltas(samples, series.base, spec.den) : null;
+    const vals = dn.map((v, i) => dd ? (dd[i] ? v / dd[i] : 0) : v);
+    const last = vals.length ? vals[vals.length - 1] : 0;
+    html += '<div class="chart"><h2>' + spec.label +
+      ' <span class="last">' + (isFinite(last) ? last.toPrecision(4) : last) + "</span></h2>" +
+      '<svg viewBox="0 0 700 120" preserveAspectRatio="none"><polyline points="' +
+      polyline(vals, 700, 120) + '"/></svg></div>';
+  }
+  div.innerHTML = html || '<div class="chart empty">no chartable instruments in the published series</div>';
+}
+function renderFleet(st) {
+  const el = document.getElementById("fleet");
+  if (!st.experiments || !st.experiments.length) { el.textContent = "no fleet"; return; }
+  let html = "<table><tr><th>experiment</th><th>state</th><th>wall s</th><th>Msim-cycles/s</th></tr>";
+  for (const e of st.experiments) {
+    html += "<tr><td>" + e.name + '</td><td class="' + e.state + '">' + e.state +
+      (e.error ? " — " + e.error : "") + "</td><td>" +
+      (e.wall_seconds ? e.wall_seconds.toFixed(1) : "") + "</td><td>" +
+      (e.sim_cycles_per_sec ? (e.sim_cycles_per_sec / 1e6).toFixed(1) : "") + "</td></tr>";
+  }
+  el.innerHTML = html + "</table>";
+}
+async function tick() {
+  try {
+    const [sr, st] = await Promise.all([
+      fetch("/series").then(r => r.json()),
+      fetch("/status").then(r => r.json()),
+    ]);
+    render(sr);
+    renderFleet(st);
+    const s = document.getElementById("status");
+    s.className = "";
+    s.textContent = st.total
+      ? st.done + "/" + st.total + " experiments" +
+        (st.eta_seconds ? ", ETA ~" + Math.round(st.eta_seconds) + "s" : "") +
+        (st.sim_cycles_per_sec ? ", " + (st.sim_cycles_per_sec / 1e6).toFixed(1) + " Msim-cycles/s" : "")
+      : (sr.samples || []).length + " samples published";
+  } catch (err) {
+    document.getElementById("status").textContent = "poll failed: " + err;
+  }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Experiment states reported by /status.
+const (
+	StatePending = "pending"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Fleet tracks a sweep's per-experiment progress for /status: which
+// experiments exist, which is running, how long finished ones took and
+// how fast they simulated. It is safe for concurrent use — the harness
+// goroutine feeds it, HTTP handlers and the heartbeat read it.
+type Fleet struct {
+	mu        sync.Mutex
+	start     time.Time
+	simCycles func() int64 // process-wide counter; nil disables throughput
+	simStart  int64
+	order     []string
+	byName    map[string]*fleetEntry
+}
+
+type fleetEntry struct {
+	state   string
+	started time.Time
+	simAt   int64 // counter reading when the experiment started
+	wall    time.Duration
+	cycles  int64
+	errMsg  string
+}
+
+// NewFleet builds a tracker over the named experiments (all pending).
+// simCycles, when non-nil, reads the process-wide simulated-cycle
+// counter (machine.SimulatedCycles) for throughput reporting.
+func NewFleet(names []string, simCycles func() int64) *Fleet {
+	f := &Fleet{
+		start:     time.Now(),
+		simCycles: simCycles,
+		byName:    map[string]*fleetEntry{},
+	}
+	if simCycles != nil {
+		f.simStart = simCycles()
+	}
+	for _, n := range names {
+		f.add(n)
+	}
+	return f
+}
+
+func (f *Fleet) add(name string) *fleetEntry {
+	e, ok := f.byName[name]
+	if !ok {
+		e = &fleetEntry{state: StatePending}
+		f.byName[name] = e
+		f.order = append(f.order, name)
+	}
+	return e
+}
+
+// Start marks the named experiment running (registering it if
+// unknown). Safe on a nil receiver, so callers can wire progress
+// callbacks unconditionally.
+func (f *Fleet) Start(name string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.add(name)
+	e.state = StateRunning
+	e.started = time.Now()
+	if f.simCycles != nil {
+		e.simAt = f.simCycles()
+	}
+}
+
+// Finish marks the named experiment done (or failed, when err is
+// non-nil), recording its wall time and simulated-cycle delta. Safe on
+// a nil receiver.
+func (f *Fleet) Finish(name string, err error) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.add(name)
+	if e.state == StateRunning {
+		e.wall = time.Since(e.started)
+		if f.simCycles != nil {
+			e.cycles = f.simCycles() - e.simAt
+		}
+	}
+	if err != nil {
+		e.state = StateFailed
+		e.errMsg = err.Error()
+	} else {
+		e.state = StateDone
+	}
+}
+
+// ExperimentStatus is one experiment's slice of a /status response.
+type ExperimentStatus struct {
+	Name            string  `json:"name"`
+	State           string  `json:"state"`
+	WallSecs        float64 `json:"wall_seconds,omitempty"`
+	SimCycles       int64   `json:"sim_cycles,omitempty"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// FleetStatus is the /status payload: sweep-level progress plus every
+// experiment's state. ETA extrapolates from the mean pace of finished
+// experiments, exactly like the stderr heartbeat.
+type FleetStatus struct {
+	Total           int                `json:"total"`
+	Done            int                `json:"done"`
+	Failed          int                `json:"failed"`
+	Running         []string           `json:"running,omitempty"`
+	ElapsedSecs     float64            `json:"elapsed_seconds"`
+	ETASecs         float64            `json:"eta_seconds,omitempty"`
+	SimCycles       int64              `json:"sim_cycles"`
+	SimCyclesPerSec float64            `json:"sim_cycles_per_sec"`
+	Experiments     []ExperimentStatus `json:"experiments"`
+}
+
+// Status snapshots the fleet.
+func (f *Fleet) Status() FleetStatus {
+	if f == nil {
+		return FleetStatus{Experiments: []ExperimentStatus{}}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	st := FleetStatus{
+		Total:       len(f.order),
+		ElapsedSecs: now.Sub(f.start).Seconds(),
+		Experiments: make([]ExperimentStatus, 0, len(f.order)),
+	}
+	for _, name := range f.order {
+		e := f.byName[name]
+		es := ExperimentStatus{Name: name, State: e.state, Error: e.errMsg}
+		switch e.state {
+		case StateRunning:
+			es.WallSecs = now.Sub(e.started).Seconds()
+			if f.simCycles != nil {
+				es.SimCycles = f.simCycles() - e.simAt
+			}
+			st.Running = append(st.Running, name)
+		case StateDone, StateFailed:
+			es.WallSecs = e.wall.Seconds()
+			es.SimCycles = e.cycles
+			if e.state == StateFailed {
+				st.Failed++
+			}
+			st.Done++
+		}
+		if es.WallSecs > 0 && es.SimCycles > 0 {
+			es.SimCyclesPerSec = float64(es.SimCycles) / es.WallSecs
+		}
+		st.Experiments = append(st.Experiments, es)
+	}
+	if f.simCycles != nil {
+		st.SimCycles = f.simCycles() - f.simStart
+		if st.ElapsedSecs > 0 {
+			st.SimCyclesPerSec = float64(st.SimCycles) / st.ElapsedSecs
+		}
+	}
+	if st.Done > 0 && st.Done < st.Total {
+		st.ETASecs = st.ElapsedSecs / float64(st.Done) * float64(st.Total-st.Done)
+	}
+	return st
+}
+
+// Line renders a one-line heartbeat-style summary of the fleet, so the
+// stderr heartbeat and /status share one source of truth.
+func (s FleetStatus) Line() string {
+	out := fmt.Sprintf("%d/%d experiments", s.Done, s.Total)
+	if s.Failed > 0 {
+		out += fmt.Sprintf(" (%d failed)", s.Failed)
+	}
+	if len(s.Running) > 0 {
+		out += ", running " + s.Running[0]
+	}
+	out += fmt.Sprintf(", elapsed %s", time.Duration(s.ElapsedSecs*float64(time.Second)).Round(time.Second))
+	if s.SimCyclesPerSec > 0 {
+		out += fmt.Sprintf(", %.3g sim-cycles/s", s.SimCyclesPerSec)
+	}
+	if s.ETASecs > 0 {
+		out += fmt.Sprintf(", ETA ~%s", time.Duration(s.ETASecs*float64(time.Second)).Round(time.Second))
+	}
+	return out
+}

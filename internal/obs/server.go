@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"varsim/internal/metrics"
+)
+
+// Options wires a Server's data sources; any may be nil — the
+// corresponding endpoints then serve empty-but-valid payloads.
+type Options struct {
+	Publisher *Publisher   // /metrics values, /series, dashboard charts
+	Fleet     *Fleet       // /status, fleet gauges on /metrics
+	SimCycles func() int64 // process-wide simulated-cycle counter
+}
+
+// Server is the observability HTTP server. Endpoints:
+//
+//	/         embedded dashboard (polls /series and /status)
+//	/metrics  Prometheus text exposition (version 0.0.4)
+//	/status   fleet progress JSON (FleetStatus)
+//	/series   sampled metric time series JSON (metrics.TimeSeries)
+//	/debug/pprof/...  Go's runtime profiler
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	hsrv  *http.Server
+	ln    net.Listener
+	start time.Time
+}
+
+// NewServer builds a server over the given sources without listening;
+// use Handler with httptest or Serve to bind a real port.
+func NewServer(opt Options) *Server {
+	s := &Server{opt: opt, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/", s.handleDashboard)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/series", s.handleSeries)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve binds addr (e.g. ":8080" or "127.0.0.1:0") and serves in a
+// background goroutine, returning once the listener is bound so callers
+// can log the resolved address before the simulation starts.
+func Serve(addr string, opt Options) (*Server, error) {
+	s := NewServer(opt)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.mux}
+	go s.hsrv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is expected
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener (no-op for handler-only servers).
+func (s *Server) Close() error {
+	if s.hsrv == nil {
+		return nil
+	}
+	return s.hsrv.Close()
+}
+
+// ---- /metrics -------------------------------------------------------
+
+// promName rewrites an instrument name ("mem.l2.misses") into a valid
+// Prometheus metric name ("varsim_mem_l2_misses").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("varsim_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promKind(k metrics.Kind) string {
+	switch k {
+	case metrics.KindCounter:
+		return "counter"
+	case metrics.KindGauge:
+		return "gauge"
+	default:
+		// Histograms export their observation count (Instrument.Value),
+		// which is cumulative.
+		return "counter"
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	write := func(name, kind string, v float64) {
+		if kind != "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		}
+		fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	write("varsim_obs_uptime_seconds", "gauge", time.Since(s.start).Seconds())
+	if s.opt.SimCycles != nil {
+		write("varsim_sim_cycles_total", "counter", float64(s.opt.SimCycles()))
+	}
+	if s.opt.Fleet != nil {
+		st := s.opt.Fleet.Status()
+		write("varsim_experiments_total", "gauge", float64(st.Total))
+		write("varsim_experiments_done", "gauge", float64(st.Done))
+		write("varsim_experiments_failed", "gauge", float64(st.Failed))
+		write("varsim_experiments_running", "gauge", float64(len(st.Running)))
+		if st.SimCyclesPerSec > 0 {
+			write("varsim_sim_cycles_per_second", "gauge", st.SimCyclesPerSec)
+		}
+	}
+	snap, kinds := s.opt.Publisher.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		kind := ""
+		if k, ok := kinds[name]; ok {
+			kind = promKind(k)
+		}
+		write(promName(name), kind, snap[name])
+	}
+}
+
+// ---- /status and /series --------------------------------------------
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.opt.Fleet.Status())
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.opt.Publisher.Series())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ---- dashboard ------------------------------------------------------
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"varsim/internal/harness"
+	"varsim/internal/metrics"
+)
+
+func get(t *testing.T, url string) (string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.Header
+}
+
+// metricLine matches one Prometheus text-exposition sample line.
+var metricLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]* (?:[-+]?[0-9.eE+-]+|NaN|[-+]Inf)$`)
+
+func TestMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.NewCounter("mem.l2.misses").Add(41)
+	reg.NewGauge("os.runnable").Set(3.5)
+	reg.NewHistogram("bus.queue_delay_ns", []float64{1, 10}).Observe(4)
+	pub := NewPublisher()
+	pub.PublishRegistry(reg)
+
+	ts := httptest.NewServer(NewServer(Options{
+		Publisher: pub,
+		SimCycles: func() int64 { return 12345 },
+	}).Handler())
+	defer ts.Close()
+
+	body, hdr := get(t, ts.URL+"/metrics")
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	var samples int
+	types := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !metricLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+		samples++
+	}
+	for name, want := range map[string]string{
+		"varsim_mem_l2_misses":      "counter",
+		"varsim_os_runnable":        "gauge",
+		"varsim_bus_queue_delay_ns": "counter", // histograms export their observation count
+		"varsim_sim_cycles_total":   "counter",
+	} {
+		if types[name] != want {
+			t.Errorf("TYPE %s = %q, want %q", name, types[name], want)
+		}
+	}
+	if !strings.Contains(body, "varsim_mem_l2_misses 41") {
+		t.Errorf("counter value missing from exposition:\n%s", body)
+	}
+	if samples == 0 {
+		t.Fatal("no sample lines served")
+	}
+}
+
+// TestStatusLiveDuringSweep drives a (fake, instant) experiment sweep
+// through the harness progress callback and asserts /status reflects
+// the running experiment while it runs and the final states after.
+func TestStatusLiveDuringSweep(t *testing.T) {
+	fleet := NewFleet([]string{"alpha", "beta"}, func() int64 { return 0 })
+	ts := httptest.NewServer(NewServer(Options{Fleet: fleet}).Handler())
+	defer ts.Close()
+
+	status := func() FleetStatus {
+		body, hdr := get(t, ts.URL+"/status")
+		if ct := hdr.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		var st FleetStatus
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("/status is not valid JSON: %v\n%s", err, body)
+		}
+		return st
+	}
+
+	if st := status(); st.Total != 2 || st.Done != 0 {
+		t.Fatalf("initial status = %+v, want 2 pending", st)
+	}
+
+	h := harness.New(harness.Options{
+		Out: io.Discard,
+		OnProgress: func(p harness.Progress) {
+			if p.Done {
+				fleet.Finish(p.Experiment, p.Err)
+			} else {
+				fleet.Start(p.Experiment)
+			}
+		},
+	})
+	var sawRunning atomic.Bool
+	alpha := harness.Experiment{Name: "alpha", Title: "fake", Run: func(*harness.H) error {
+		st := status()
+		for _, e := range st.Experiments {
+			if e.Name == "alpha" && e.State == StateRunning {
+				sawRunning.Store(true)
+			}
+		}
+		return nil
+	}}
+	beta := harness.Experiment{Name: "beta", Title: "fake", Run: func(*harness.H) error {
+		return errors.New("boom")
+	}}
+	if err := h.RunOne(alpha); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RunOne(beta); err == nil {
+		t.Fatal("beta should have failed")
+	}
+	if !sawRunning.Load() {
+		t.Error("/status never showed alpha running mid-experiment")
+	}
+
+	st := status()
+	if st.Done != 2 || st.Failed != 1 {
+		t.Fatalf("final status = %+v, want 2 done / 1 failed", st)
+	}
+	byName := map[string]ExperimentStatus{}
+	for _, e := range st.Experiments {
+		byName[e.Name] = e
+	}
+	if byName["alpha"].State != StateDone {
+		t.Errorf("alpha state = %q, want done", byName["alpha"].State)
+	}
+	if byName["beta"].State != StateFailed || byName["beta"].Error != "boom" {
+		t.Errorf("beta = %+v, want failed with error", byName["beta"])
+	}
+}
+
+func TestSeriesRoundTripWithNaN(t *testing.T) {
+	pub := NewPublisher()
+	pub.SetSeriesBase(1000, 0, metrics.Snapshot{"machine.instrs": 0})
+	pub.PublishSample(1000, metrics.Snapshot{"machine.instrs": 500, "ratio": math.NaN()})
+	pub.PublishSample(2000, metrics.Snapshot{"machine.instrs": 900, "ratio": math.Inf(1)})
+
+	ts := httptest.NewServer(NewServer(Options{Publisher: pub}).Handler())
+	defer ts.Close()
+
+	body, _ := get(t, ts.URL+"/series")
+	var got metrics.TimeSeries
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/series is not valid JSON: %v\n%s", err, body)
+	}
+	if got.Len() != 2 || got.IntervalNS != 1000 {
+		t.Fatalf("series = %d samples / interval %d, want 2 / 1000", got.Len(), got.IntervalNS)
+	}
+	if !math.IsNaN(got.Samples[0].Values["ratio"]) || !math.IsInf(got.Samples[1].Values["ratio"], 1) {
+		t.Errorf("non-finite values lost: %v", got.Samples)
+	}
+	ipc := got.PerCycle("machine.instrs")
+	if len(ipc) != 2 || ipc[0] != 0.5 || ipc[1] != 0.4 {
+		t.Errorf("PerCycle over served series = %v, want [0.5 0.4]", ipc)
+	}
+}
+
+func TestDashboardAndPprofServed(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{}).Handler())
+	defer ts.Close()
+	body, hdr := get(t, ts.URL+"/")
+	if !strings.Contains(hdr.Get("Content-Type"), "text/html") || !strings.Contains(body, "varsim live") {
+		t.Errorf("dashboard not served: %q", hdr.Get("Content-Type"))
+	}
+	if body, _ := get(t, ts.URL+"/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Error("pprof index not served")
+	}
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	if body, _ := get(t, "http://"+s.Addr()+"/status"); !strings.Contains(body, "total") {
+		t.Errorf("status over real listener = %q", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRateSampler(t *testing.T) {
+	var cycles atomic.Int64
+	pub := NewPublisher()
+	stop := StartSimRateSampler(pub, func() int64 { return cycles.Add(1000) }, time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for pub.Series().Len() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler produced no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	ts := pub.Series()
+	if ts.Samples[0].Values["sim.cycles"] <= 0 {
+		t.Errorf("sample missing sim.cycles: %v", ts.Samples[0])
+	}
+}
+
+func TestNilSourcesServeEmpty(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{}).Handler())
+	defer ts.Close()
+	body, _ := get(t, ts.URL+"/series")
+	var got metrics.TimeSeries
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got.Len() != 0 {
+		t.Errorf("empty /series invalid: %v %v", err, got)
+	}
+	if body, _ := get(t, ts.URL+"/metrics"); !strings.Contains(body, "varsim_obs_uptime_seconds") {
+		t.Error("empty /metrics missing uptime gauge")
+	}
+}

@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,8 +13,15 @@ import (
 // experiments completed, elapsed wall clock, simulated-cycle throughput
 // and an ETA extrapolated from per-experiment pace. It exists so that
 // multi-minute `full` harness runs are visibly alive.
+//
+// On an interactive terminal the line is redrawn in place with a
+// spinner; when w is not a terminal (a pipe, a log file) or the
+// NO_COLOR convention is in effect, each beat is a plain appended line
+// with no escape sequences, so captured logs stay readable.
 type Heartbeat struct {
 	w         io.Writer
+	styled    bool
+	frame     int
 	total     int
 	done      atomic.Int64
 	start     time.Time
@@ -25,6 +33,28 @@ type Heartbeat struct {
 	wg       sync.WaitGroup
 }
 
+// spinnerFrames is the braille spinner cycled by styled heartbeats.
+var spinnerFrames = []string{"⠋", "⠙", "⠹", "⠸", "⠼", "⠴", "⠦", "⠧", "⠇", "⠏"}
+
+// styled reports whether w should get the interactive treatment:
+// terminal control sequences are emitted only when w is a character
+// device and the NO_COLOR environment convention (no-color.org) does
+// not ask for plain output.
+func styled(w io.Writer) bool {
+	if os.Getenv("NO_COLOR") != "" {
+		return false
+	}
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
 // StartHeartbeat begins emitting a progress line to w every period.
 // total is the number of experiments expected (0 disables the ETA);
 // simCycles, when non-nil, reads the process-wide simulated-cycle
@@ -32,6 +62,7 @@ type Heartbeat struct {
 func StartHeartbeat(w io.Writer, period time.Duration, total int, simCycles func() int64) *Heartbeat {
 	h := &Heartbeat{
 		w:         w,
+		styled:    styled(w),
 		total:     total,
 		start:     time.Now(),
 		simCycles: simCycles,
@@ -50,11 +81,24 @@ func StartHeartbeat(w io.Writer, period time.Duration, total int, simCycles func
 			case <-h.stop:
 				return
 			case <-t.C:
-				fmt.Fprintln(h.w, h.Line())
+				h.beat()
 			}
 		}
 	}()
 	return h
+}
+
+// beat renders one heartbeat. Only the ticker goroutine calls it, so
+// frame needs no locking.
+func (h *Heartbeat) beat() {
+	if !h.styled {
+		fmt.Fprintln(h.w, h.Line())
+		return
+	}
+	spin := spinnerFrames[h.frame%len(spinnerFrames)]
+	h.frame++
+	// \r + erase-line redraws in place; cyan spinner, default text.
+	fmt.Fprintf(h.w, "\r\x1b[2K\x1b[36m%s\x1b[0m %s", spin, h.Line())
 }
 
 // Advance records n more completed experiments.
@@ -78,8 +122,15 @@ func (h *Heartbeat) Line() string {
 	return s
 }
 
-// Stop ends the ticker goroutine (idempotent).
+// Stop ends the ticker goroutine (idempotent) and, in styled mode,
+// clears the in-place line so the next write starts on a clean row.
 func (h *Heartbeat) Stop() {
-	h.stopOnce.Do(func() { close(h.stop) })
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		h.wg.Wait()
+		if h.styled {
+			fmt.Fprint(h.w, "\r\x1b[2K")
+		}
+	})
 	h.wg.Wait()
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -16,18 +17,20 @@ import (
 // run that produced it and throughput regressions show up in the
 // artifact trail.
 type Manifest struct {
-	Tool       string   `json:"tool"`               // binary name, e.g. "varsim"
-	Args       []string `json:"args,omitempty"`     // command line as invoked
-	Seed       uint64   `json:"seed"`               // workload identity seed
-	ConfigHash string   `json:"config_hash"`        // hash of the resolved configuration
-	Quick      bool     `json:"quick,omitempty"`    // scaled-down smoke run
-	GoVersion  string   `json:"go_version"`         // runtime.Version()
+	Tool       string   `json:"tool"`            // binary name, e.g. "varsim"
+	Args       []string `json:"args,omitempty"`  // command line as invoked
+	Seed       uint64   `json:"seed"`            // workload identity seed
+	ConfigHash string   `json:"config_hash"`     // hash of the resolved configuration
+	Quick      bool     `json:"quick,omitempty"` // scaled-down smoke run
+	GoVersion  string   `json:"go_version"`      // runtime.Version()
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
-	Host       string   `json:"host,omitempty"`     // os.Hostname()
-	StartTime  string   `json:"start_time"`         // RFC 3339
-	EndTime    string   `json:"end_time,omitempty"` // RFC 3339, set by Finish
-	WallSecs   float64  `json:"wall_seconds"`       // total wall clock, set by Finish
+	GitCommit  string   `json:"git_commit,omitempty"` // vcs.revision from build info
+	GitDirty   bool     `json:"git_dirty,omitempty"`  // vcs.modified from build info
+	Host       string   `json:"host,omitempty"`       // os.Hostname()
+	StartTime  string   `json:"start_time"`           // RFC 3339
+	EndTime    string   `json:"end_time,omitempty"`   // RFC 3339, set by Finish
+	WallSecs   float64  `json:"wall_seconds"`         // total wall clock, set by Finish
 
 	// SimCycles is the simulated cycles advanced during the run;
 	// SimCyclesPerSec the resulting throughput (cycles are nanoseconds at
@@ -72,7 +75,26 @@ func NewManifest(tool string, seed uint64, simCycles func() int64) *Manifest {
 	if simCycles != nil {
 		m.simStart = simCycles()
 	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		m.GitCommit, m.GitDirty = vcsFromSettings(info.Settings)
+	}
 	return m
+}
+
+// vcsFromSettings extracts the VCS revision and dirty flag that the Go
+// toolchain stamps into binaries built inside a repository. Both are
+// zero when the build had no VCS info (go test binaries, `go run` of a
+// file list, -buildvcs=false).
+func vcsFromSettings(settings []debug.BuildSetting) (commit string, dirty bool) {
+	for _, s := range settings {
+		switch s.Key {
+		case "vcs.revision":
+			commit = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return commit, dirty
 }
 
 // AddExperiment records one finished experiment: wall time, the

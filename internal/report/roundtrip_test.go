@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"testing"
 	"time"
@@ -208,6 +209,49 @@ func TestManifest(t *testing.T) {
 	}
 }
 
+// TestVCSFromSettings covers the git-provenance extraction over the
+// shapes ReadBuildInfo actually produces: a stamped repo build, a dirty
+// tree, and a build with no VCS info at all (test binaries).
+func TestVCSFromSettings(t *testing.T) {
+	commit, dirty := vcsFromSettings([]debug.BuildSetting{
+		{Key: "-buildmode", Value: "exe"},
+		{Key: "vcs.revision", Value: "55fa079deadbeef"},
+		{Key: "vcs.modified", Value: "false"},
+	})
+	if commit != "55fa079deadbeef" || dirty {
+		t.Fatalf("clean build = (%q, %v), want revision and dirty=false", commit, dirty)
+	}
+	if _, dirty := vcsFromSettings([]debug.BuildSetting{
+		{Key: "vcs.revision", Value: "abc"},
+		{Key: "vcs.modified", Value: "true"},
+	}); !dirty {
+		t.Fatal("vcs.modified=true not reported as dirty")
+	}
+	if commit, dirty := vcsFromSettings(nil); commit != "" || dirty {
+		t.Fatalf("no-VCS build = (%q, %v), want zero values", commit, dirty)
+	}
+}
+
+// TestManifestGitFieldsRoundTrip checks the provenance fields survive
+// the JSON round trip (and stay omitted when the build has no VCS
+// stamp, as in test binaries).
+func TestManifestGitFieldsRoundTrip(t *testing.T) {
+	m := NewManifest("t", 1, nil)
+	m.GitCommit, m.GitDirty = "0123abcd", true
+	m.Finish()
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.GitCommit != "0123abcd" || !got.GitDirty {
+		t.Fatalf("git provenance lost: %+v", got)
+	}
+}
+
 func TestManifestWriteFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.json")
 	m := NewManifest("t", 1, nil)
@@ -260,4 +304,68 @@ func TestHeartbeat(t *testing.T) {
 	}
 	h.Stop()
 	h.Stop() // idempotent
+}
+
+// TestHeartbeatPlainOutput pins the non-TTY contract: beats to a
+// non-terminal writer are newline-terminated lines with no escape
+// sequences or spinner glyphs, so redirected logs stay grep-able.
+func TestHeartbeatPlainOutput(t *testing.T) {
+	var buf bytes.Buffer
+	h := StartHeartbeat(&buf, time.Hour, 2, nil)
+	h.beat()
+	h.beat()
+	h.Stop()
+	out := buf.String()
+	if strings.Contains(out, "\x1b") || strings.Contains(out, "\r") {
+		t.Fatalf("plain heartbeat emitted terminal escapes: %q", out)
+	}
+	for _, f := range spinnerFrames {
+		if strings.Contains(out, f) {
+			t.Fatalf("plain heartbeat emitted spinner glyph %q: %q", f, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Fatalf("plain heartbeat wrote %d lines, want 2: %q", got, out)
+	}
+}
+
+// TestHeartbeatStyledOutput drives the styled renderer directly (tests
+// have no TTY to detect) and checks the redraw-in-place protocol.
+func TestHeartbeatStyledOutput(t *testing.T) {
+	var buf bytes.Buffer
+	h := StartHeartbeat(&buf, time.Hour, 2, nil)
+	h.styled = true
+	h.beat()
+	h.beat()
+	h.Stop()
+	out := buf.String()
+	if strings.Count(out, "\r\x1b[2K") != 3 { // 2 redraws + Stop's clear
+		t.Fatalf("styled heartbeat missing redraw/clear sequences: %q", out)
+	}
+	if strings.Contains(out, "\n") {
+		t.Fatalf("styled heartbeat should redraw, not append lines: %q", out)
+	}
+	if !strings.Contains(out, spinnerFrames[0]) || !strings.Contains(out, spinnerFrames[1]) {
+		t.Fatalf("spinner did not advance across beats: %q", out)
+	}
+}
+
+// TestStyledDetection covers every way the interactive mode must turn
+// itself off: NO_COLOR set, a non-file writer, and a regular file.
+func TestStyledDetection(t *testing.T) {
+	if styled(&bytes.Buffer{}) {
+		t.Error("non-file writer reported as a terminal")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if styled(f) {
+		t.Error("regular file reported as a terminal")
+	}
+	t.Setenv("NO_COLOR", "1")
+	if styled(os.Stderr) {
+		t.Error("NO_COLOR did not disable styling")
+	}
 }

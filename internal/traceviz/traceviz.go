@@ -1,0 +1,241 @@
+// Package traceviz converts structured execution traces
+// (internal/trace) into the Chrome Trace Event JSON format, which
+// ui.perfetto.dev and chrome://tracing both load. Each perturbed run
+// becomes one process group, so branching several runs from the same
+// checkpoint and loading the file shows the paper's Figure-1 divergence
+// side by side: identical leading schedules, then drift.
+//
+// Track layout, per run (pid = run index + 1):
+//
+//   - tid 0..NumCPUs-1: one track per processor. Dispatch/Block pairs
+//     become B/E duration spans named after the running thread;
+//     transaction completions are instant events on the CPU where they
+//     retired.
+//   - tid NumCPUs+t: one track per thread t carrying lock activity:
+//     "lock N held" spans (acquire -> release) and "lock N wait" spans
+//     (first contended attempt -> acquire), emitted as X complete
+//     events because lock intervals may overlap arbitrarily.
+//
+// Reference: "Trace Event Format" (Google, catapult project).
+package traceviz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"varsim/internal/trace"
+)
+
+// Run is one perturbed run's event stream to export.
+type Run struct {
+	Name    string        // process-group label, e.g. "run 3 (seed 0x2a)"
+	Events  []trace.Event // time-ordered structured trace
+	NumCPUs int           // CPU track count; 0 infers max CPU id + 1
+}
+
+// chromeEvent is one Trace Event Format record. TS and Dur are in
+// microseconds (the format's unit); fractional values keep nanosecond
+// precision.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// document is the top-level JSON object.
+type document struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteJSON writes the runs as one Chrome Trace Event JSON document.
+func WriteJSON(w io.Writer, runs ...Run) error {
+	doc := document{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for i, r := range runs {
+		doc.TraceEvents = append(doc.TraceEvents, convertRun(i+1, r)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the runs to path as Chrome Trace Event JSON.
+func WriteFile(path string, runs ...Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, runs...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// convertRun emits one run's events under process id pid.
+func convertRun(pid int, r Run) []chromeEvent {
+	numCPUs := r.NumCPUs
+	if numCPUs == 0 {
+		for _, ev := range r.Events {
+			if int(ev.CPU)+1 > numCPUs {
+				numCPUs = int(ev.CPU) + 1
+			}
+		}
+	}
+	name := r.Name
+	if name == "" {
+		name = fmt.Sprintf("run %d", pid-1)
+	}
+
+	out := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	}}
+
+	var endNS int64
+	for _, ev := range r.Events {
+		if ev.TimeNS > endNS {
+			endNS = ev.TimeNS
+		}
+	}
+
+	// Per-CPU dispatch spans. One thread runs per CPU at a time, so
+	// B/E pairs nest trivially; a Dispatch landing on a CPU whose span
+	// is still open (shouldn't happen, but traces may be truncated)
+	// closes the stale span first so the stream stays balanced.
+	openThread := make([]int32, numCPUs) // thread whose span is open, -1 = none
+	for i := range openThread {
+		openThread[i] = -1
+	}
+	threadCPU := map[int32]int32{} // last dispatch CPU per thread
+
+	// Lock spans, keyed by (thread, lock).
+	type tl struct {
+		thread int32
+		lock   int64
+	}
+	heldSince := map[tl]int64{}
+	waitSince := map[tl]int64{}
+	lockTID := func(thread int32) int { return numCPUs + int(thread) }
+	usedLockTracks := map[int32]bool{}
+
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case trace.Dispatch:
+			cpu := int(ev.CPU)
+			if cpu < 0 || cpu >= numCPUs {
+				continue
+			}
+			if openThread[cpu] >= 0 {
+				out = append(out, chromeEvent{
+					Name: threadSpanName(openThread[cpu]), Ph: "E",
+					TS: usec(ev.TimeNS), PID: pid, TID: cpu,
+				})
+			}
+			openThread[cpu] = ev.Thread
+			threadCPU[ev.Thread] = ev.CPU
+			out = append(out, chromeEvent{
+				Name: threadSpanName(ev.Thread), Ph: "B",
+				TS: usec(ev.TimeNS), PID: pid, TID: cpu,
+			})
+		case trace.Block:
+			cpu, ok := threadCPU[ev.Thread]
+			if !ok || int(cpu) >= numCPUs || openThread[cpu] != ev.Thread {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: threadSpanName(ev.Thread), Ph: "E",
+				TS: usec(ev.TimeNS), PID: pid, TID: int(cpu),
+				Args: map[string]any{"reason": trace.BlockReason(ev.Arg).String()},
+			})
+			openThread[cpu] = -1
+		case trace.LockContended:
+			k := tl{ev.Thread, ev.Arg}
+			if _, waiting := waitSince[k]; !waiting {
+				waitSince[k] = ev.TimeNS
+			}
+		case trace.LockAcquire:
+			k := tl{ev.Thread, ev.Arg}
+			usedLockTracks[ev.Thread] = true
+			if t0, ok := waitSince[k]; ok {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("lock %d wait", ev.Arg), Ph: "X",
+					TS: usec(t0), Dur: usec(ev.TimeNS - t0),
+					PID: pid, TID: lockTID(ev.Thread),
+				})
+				delete(waitSince, k)
+			}
+			heldSince[k] = ev.TimeNS
+		case trace.LockRelease:
+			k := tl{ev.Thread, ev.Arg}
+			if t0, ok := heldSince[k]; ok {
+				usedLockTracks[ev.Thread] = true
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("lock %d held", ev.Arg), Ph: "X",
+					TS: usec(t0), Dur: usec(ev.TimeNS - t0),
+					PID: pid, TID: lockTID(ev.Thread),
+				})
+				delete(heldSince, k)
+			}
+		case trace.TxnEnd:
+			tid := 0
+			if cpu, ok := threadCPU[ev.Thread]; ok && int(cpu) < numCPUs {
+				tid = int(cpu)
+			}
+			out = append(out, chromeEvent{
+				Name: "txn", Ph: "i", TS: usec(ev.TimeNS),
+				PID: pid, TID: tid, S: "t",
+				Args: map[string]any{"thread": ev.Thread, "class": ev.Arg},
+			})
+		}
+	}
+
+	// Close spans left open at the end of the trace so every B has its E.
+	for cpu, thread := range openThread {
+		if thread >= 0 {
+			out = append(out, chromeEvent{
+				Name: threadSpanName(thread), Ph: "E",
+				TS: usec(endNS), PID: pid, TID: cpu,
+			})
+		}
+	}
+	for k, t0 := range heldSince {
+		usedLockTracks[k.thread] = true
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("lock %d held", k.lock), Ph: "X",
+			TS: usec(t0), Dur: usec(endNS - t0),
+			PID: pid, TID: lockTID(k.thread),
+		})
+	}
+
+	// Track names, emitted last so we know which lock tracks exist.
+	for cpu := 0; cpu < numCPUs; cpu++ {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: cpu,
+			Args: map[string]any{"name": fmt.Sprintf("cpu %d", cpu)},
+		})
+	}
+	threads := make([]int32, 0, len(usedLockTracks))
+	for t := range usedLockTracks {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+	for _, t := range threads {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: lockTID(t),
+			Args: map[string]any{"name": fmt.Sprintf("thread %d locks", t)},
+		})
+	}
+	return out
+}
+
+func threadSpanName(thread int32) string { return fmt.Sprintf("thread %d", thread) }

@@ -157,6 +157,14 @@ func BranchSpace(checkpoint *Machine, label string, n int, measureTxns int64, se
 	return core.BranchSpace(checkpoint, label, n, measureTxns, seedBase)
 }
 
+// BranchTraces is BranchSpace with structured tracing enabled on every
+// branched run, returning each run's event stream alongside the space.
+// Seeds derive as in BranchSpace, so run i reproduces run i there; feed
+// the streams to internal/traceviz for side-by-side Perfetto export.
+func BranchTraces(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents int) (Space, [][]TraceEvent, error) {
+	return core.BranchTraces(checkpoint, label, n, measureTxns, seedBase, capEvents)
+}
+
 // MetricsRegistry is the typed registry of named counters, gauges and
 // histograms every machine wires over its components (see
 // Machine.Metrics).
@@ -165,6 +173,10 @@ type MetricsRegistry = metrics.Registry
 // MetricSeries is an interval-sampled metric time series (see
 // Machine.EnableSampling and SampleRun).
 type MetricSeries = metrics.TimeSeries
+
+// MetricSnapshot is a point-in-time reading of a metrics registry, as
+// delivered to Machine.SetSampleHook observers.
+type MetricSnapshot = metrics.Snapshot
 
 // SampleRun branches one perturbed run of measureTxns transactions from
 // a warmed checkpoint machine with the metrics registry sampled every
