@@ -1,12 +1,14 @@
 # Build/test entry points. `make check` is the tier-1 flow: build,
-# vet, full tests, plus the race detector over the packages with
+# vet, lint, full tests, plus the race detector over the packages with
 # concurrency-sensitive state (the event kernel, the metrics registry
 # and its process-wide cycle counter, the heartbeat goroutine, the
-# trace buffer, and the live observability server).
+# trace buffer, and the live observability server). `make lint` runs
+# varsimlint, the determinism-contract analyzer suite (detwall,
+# seedflow, maporder, kindexhaust) — see docs/DETERMINISM.md.
 
 GO ?= go
 
-.PHONY: all build test bench vet race check clean
+.PHONY: all build test bench vet lint race check clean
 
 all: build
 
@@ -14,6 +16,7 @@ build:
 	$(GO) build ./...
 	$(GO) build -o bin/varsim ./cmd/varsim
 	$(GO) build -o bin/experiments ./cmd/experiments
+	$(GO) build -o bin/varsimlint ./cmd/varsimlint
 
 test:
 	$(GO) test ./...
@@ -24,10 +27,13 @@ bench:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/varsimlint ./...
+
 race:
 	$(GO) test -race ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs
 
-check: vet test race
+check: vet lint test race
 	$(GO) build ./...
 
 clean:

@@ -260,6 +260,7 @@ func RandomCheckpoints(n int, lifetime int64, seed uint64) []int64 {
 		set[ck] = true
 	}
 	out := make([]int64, 0, n)
+	//varsim:allow maporder set-member collection only; sorted ascending below
 	for ck := range set {
 		out = append(out, ck)
 	}

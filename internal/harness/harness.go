@@ -281,8 +281,12 @@ func (h *H) table(header string, rows [][]string) {
 	w.Flush()
 }
 
+// sortedKeys is the harness's audited sorted-key helper: experiment
+// tables iterate cached simulation products through it so row order
+// never depends on Go's randomized map iteration.
 func sortedKeys(m map[int]core.Space) []int {
 	ks := make([]int, 0, len(m))
+	//varsim:allow maporder key collection only; sorted before return
 	for k := range m {
 		ks = append(ks, k)
 	}

@@ -1,0 +1,67 @@
+// Package analysis defines the analyzer plug-in interface for
+// varsimlint, the simulator's determinism linter.
+//
+// It is a deliberately small, API-compatible subset of
+// golang.org/x/tools/go/analysis: an Analyzer owns a Run function that
+// receives a fully type-checked package (a Pass) and reports
+// position-tagged Diagnostics. The build environment for this repository
+// is offline — the x/tools module cannot be fetched or pinned — so the
+// subset is reimplemented here on the standard library (go/ast, go/types,
+// go/token) instead of being imported. If the real dependency ever
+// becomes available, analyzers written against this package port over by
+// changing one import path: the field and method names match.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one self-contained static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //varsim:allow suppression directives. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail. The first line shows up in `varsimlint -help`.
+	Doc string
+
+	// Run executes the check over one package and reports findings via
+	// pass.Report / pass.Reportf. The returned value is unused by the
+	// driver today but kept for x/tools API compatibility.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Pass provides one analyzer with one type-checked package and a sink
+// for its diagnostics. Unlike x/tools, every Pass always carries full
+// type information: the loader refuses to analyze packages that do not
+// type-check.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File // package syntax, with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills Category with
+	// the analyzer name and applies //varsim:allow suppression after
+	// the pass completes.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled by the driver
+	Message  string
+}

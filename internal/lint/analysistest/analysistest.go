@@ -1,0 +1,209 @@
+// Package analysistest runs varsimlint analyzers over fixture packages
+// and checks their diagnostics against `// want` annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which this offline build
+// cannot import).
+//
+// Fixtures live under the calling test's testdata/src/<importpath>/
+// directory; the import path is chosen freely, which lets wall-scoped
+// analyzers such as detwall be tested by placing a fixture under a
+// simulated path like varsim/internal/mem/underwall. Fixture packages
+// must type-check and may import standard-library and real module
+// packages, plus sibling fixtures.
+//
+// A want annotation is a line comment of the form
+//
+//	expr() // want "regexp" "another"
+//
+// Every diagnostic reported on that line must match one of the
+// patterns, and every pattern must match at least one diagnostic on
+// that line; diagnostics on lines without annotations fail the test.
+// //varsim:allow suppression is applied exactly as the varsimlint
+// driver applies it, so fixtures can assert that the escape hatch
+// works.
+package analysistest
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/directive"
+	"varsim/internal/lint/loader"
+)
+
+// TestData returns the absolute path of the calling package's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package from testdata/src/<importPath>, runs
+// the analyzer over it, applies //varsim:allow suppression, and
+// compares the surviving diagnostics against want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	l := loader.New("")
+	registerFixtures(t, l, filepath.Join(testdata, "src"))
+	for _, ip := range importPaths {
+		checkPackage(t, l, a, ip)
+	}
+}
+
+// registerFixtures registers every directory under src that contains Go
+// files as an extra package named by its path relative to src.
+func registerFixtures(t *testing.T, l *loader.Loader, src string) {
+	t.Helper()
+	seen := map[string]bool{}
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if seen[dir] {
+			return nil
+		}
+		seen[dir] = true
+		rel, err := filepath.Rel(src, dir)
+		if err != nil {
+			return err
+		}
+		l.AddExtra(filepath.ToSlash(rel), dir)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixtures: %v", err)
+	}
+}
+
+// checkPackage analyzes one fixture and diffs diagnostics vs wants.
+func checkPackage(t *testing.T, l *loader.Loader, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	pkg, err := l.Load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		d.Category = a.Name
+		diags = append(diags, d)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, importPath, err)
+	}
+	diags = directive.Filter(pkg.Fset, pkg.Files, diags)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		got[key{pos.Filename, pos.Line}] = append(got[key{pos.Filename, pos.Line}], d.Message)
+	}
+
+	wants := map[key][]*regexp.Regexp{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				patterns, err := parseWant(c.Text)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					t.Fatalf("%s: %v", pos, err)
+				}
+				if len(patterns) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], patterns...)
+			}
+		}
+	}
+
+	// Every want must be satisfied by some diagnostic on its line.
+	for k, patterns := range wants {
+		for _, re := range patterns {
+			matched := false
+			for _, msg := range got[k] {
+				if re.MatchString(msg) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, re, got[k])
+			}
+		}
+	}
+	// Every diagnostic must be expected by some want on its line.
+	for k, msgs := range got {
+		for _, msg := range msgs {
+			expected := false
+			for _, re := range wants[k] {
+				if re.MatchString(msg) {
+					expected = true
+					break
+				}
+			}
+			if !expected {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "..." "..."`
+// comment, returning nil when the comment is not a want annotation.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	i := strings.Index(text, "want ")
+	if i < 0 {
+		return nil, nil
+	}
+	// Only treat it as an annotation when "want" starts the comment
+	// body (after "//" and spaces): prose mentioning the word stays
+	// inert.
+	lead := strings.TrimLeft(strings.TrimPrefix(text[:i], "//"), " \t")
+	if lead != "" {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(text[i+len("want "):])
+	var out []*regexp.Regexp
+	for rest != "" {
+		quoted, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want annotation %q: %v", text, err)
+		}
+		pattern, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want pattern %q: %v", quoted, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", pattern, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[len(quoted):])
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+// Package detwall implements the determinism-wall analyzer.
+//
+// The simulator's methodology (reproducing the paper's controlled
+// nondeterminism) requires that everything inside the simulation core
+// be a pure function of (config, seed): the only permitted randomness
+// is the seeded perturbation stream, and the only clock is simulated
+// time. detwall enforces that wall statically over the core packages:
+//
+//   - no wall-clock reads or waits (time.Now, Since, Until, Sleep,
+//     After, Tick, NewTimer, NewTicker, AfterFunc),
+//   - no global math/rand (package-level functions draw from an
+//     unseeded process-wide source),
+//   - no environment reads (os.Getenv & friends, syscall.Getenv):
+//     behaviour must come from config, not ambient host state,
+//   - no `go` statements and no `select` statements: goroutine
+//     scheduling and select case choice are host-scheduler
+//     nondeterminism, which is exactly what the event kernel exists to
+//     replace.
+//
+// Packages outside the wall (report, obs, plot, profile, traceviz, the
+// CLIs) may freely use all of the above; the stderr heartbeat goroutine
+// in internal/report is the canonical example. Genuine exceptions
+// inside the wall must carry a //varsim:allow detwall <reason>
+// directive.
+package detwall
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"varsim/internal/lint/analysis"
+)
+
+// Analyzer is the detwall analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "detwall",
+	Doc:  "forbid wall clocks, global rand, env reads, goroutines and select inside the simulation core",
+	Run:  run,
+}
+
+// wallPrefixes lists the package paths inside the determinism wall.
+// A package is inside the wall when its import path equals a prefix or
+// sits beneath one.
+var wallPrefixes = []string{
+	"varsim/internal/core",
+	"varsim/internal/sim",
+	"varsim/internal/machine",
+	"varsim/internal/mem",
+	"varsim/internal/dram",
+	"varsim/internal/kernel",
+	"varsim/internal/bpred",
+	"varsim/internal/rng",
+	"varsim/internal/stats",
+	"varsim/internal/harness",
+	"varsim/internal/checkpoint",
+	"varsim/internal/workload",
+	"varsim/internal/workloads",
+	"varsim/internal/config",
+	"varsim/internal/trace",
+}
+
+// InsideWall reports whether the package at path is subject to detwall.
+func InsideWall(path string) bool {
+	for _, p := range wallPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the forbidden time package functions. Reading a
+// monotonic or calendar clock makes behaviour depend on host timing.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// envFuncs are the forbidden environment readers, by package path.
+var envFuncs = map[string]map[string]bool{
+	"os":      {"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true},
+	"syscall": {"Getenv": true, "Environ": true},
+}
+
+// randConstructors are the math/rand package-level functions that are
+// *not* draws from the global source: they build explicit generators,
+// which is seedflow's concern, not detwall's.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !InsideWall(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement inside the determinism wall: host goroutine scheduling is nondeterministic; model concurrency as events on the sim kernel")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement inside the determinism wall: case choice depends on the host scheduler")
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkSelector flags uses of forbidden package-level functions.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods are fine; only package-level functions matter
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case pkg == "time" && wallClockFuncs[name]:
+		pass.Reportf(sel.Pos(), "wall-clock call time.%s inside the determinism wall: simulated time must come from the event kernel", name)
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+		pass.Reportf(sel.Pos(), "global %s.%s inside the determinism wall: draws from the process-wide unseeded source; use a varsim/internal/rng stream", pkg, name)
+	case envFuncs[pkg] != nil && envFuncs[pkg][name]:
+		pass.Reportf(sel.Pos(), "environment read %s.%s inside the determinism wall: behaviour must be a function of (config, seed), not host state", pkg, name)
+	}
+}

@@ -1,0 +1,31 @@
+package detwall_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/detwall"
+)
+
+func TestDetwall(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detwall.Analyzer,
+		"varsim/internal/mem/underwall",
+		"varsim/internal/report/heartbeatfix",
+	)
+}
+
+func TestInsideWall(t *testing.T) {
+	for path, want := range map[string]bool{
+		"varsim/internal/sim":          true,
+		"varsim/internal/mem":          true,
+		"varsim/internal/mem/sub":      true,
+		"varsim/internal/report":       false,
+		"varsim/internal/obs":          false,
+		"varsim/internal/memx":         false, // prefix must match a path segment
+		"varsim/internal/lint/detwall": false,
+	} {
+		if got := detwall.InsideWall(path); got != want {
+			t.Errorf("InsideWall(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

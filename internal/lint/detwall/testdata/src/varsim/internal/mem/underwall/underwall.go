@@ -1,0 +1,44 @@
+// Package underwall is a detwall fixture: its fake import path places
+// it inside the determinism wall, so every forbidden construct below
+// must be reported.
+package underwall
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Violations exercises every detwall rule.
+func Violations() {
+	_ = time.Now()                     // want `wall-clock call time\.Now`
+	time.Sleep(time.Nanosecond)        // want `wall-clock call time\.Sleep`
+	_ = time.Since(time.Time{})        // want `wall-clock call time\.Since`
+	_ = rand.Intn(4)                   // want `global math/rand\.Intn`
+	rand.Shuffle(1, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	_ = os.Getenv("HOME")              // want `environment read os\.Getenv`
+	_, _ = os.LookupEnv("HOME")        // want `environment read os\.LookupEnv`
+
+	go Violations() // want `go statement inside the determinism wall`
+
+	ch := make(chan int, 1)
+	select { // want `select statement inside the determinism wall`
+	case <-ch:
+	default:
+	}
+}
+
+// Allowed shows the audited escape hatch: a directive with a reason
+// suppresses the diagnostic on the next line.
+func Allowed() {
+	//varsim:allow detwall fixture exercises the escape hatch
+	_ = time.Now()
+}
+
+// MethodsAreFine proves detwall only polices package-level functions:
+// a method that happens to be called Now on a non-time type is fine.
+type fakeClock struct{}
+
+func (fakeClock) Now() int64 { return 0 }
+
+func MethodsAreFine() int64 { return fakeClock{}.Now() }

@@ -1,0 +1,25 @@
+// Package heartbeatfix mirrors the real internal/report/heartbeat.go:
+// a goroutine using wall clocks *outside* the determinism wall. detwall
+// must report nothing here — the analyzer is scoped to the simulation
+// core, not the whole module.
+package heartbeatfix
+
+import "time"
+
+// Beat spins a heartbeat goroutine; legal because report is outside the
+// wall.
+func Beat(stop chan struct{}) {
+	start := time.Now()
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = time.Since(start)
+			}
+		}
+	}()
+}

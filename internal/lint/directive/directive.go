@@ -1,0 +1,149 @@
+// Package directive implements the //varsim:allow suppression syntax
+// shared by the varsimlint driver and its test harness.
+//
+// A directive has the form
+//
+//	//varsim:allow <analyzer> <reason...>
+//
+// and suppresses diagnostics from the named analyzer on the directive's
+// own line, or — when the directive stands on a line of its own — on
+// the next source line. Consecutive directive-only lines stack, so two
+// analyzers can be suppressed at one site:
+//
+//	//varsim:allow maporder keys are sorted two lines down
+//	//varsim:allow kindexhaust intentional event filter
+//	for k := range m { ... }
+//
+// The reason is mandatory: an allow without a justification is itself
+// reported as a finding, so the escape hatch always leaves an audit
+// trail. Suppression is deliberately line-scoped rather than
+// block-scoped — a blanket file- or function-level opt-out would make
+// the determinism wall too easy to hollow out.
+package directive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"varsim/internal/lint/analysis"
+)
+
+// Prefix is the comment prefix that introduces a suppression.
+const Prefix = "//varsim:allow"
+
+// Allow is one parsed suppression directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	// line is the source line the directive suppresses (its own line,
+	// or the next code line for directive-only lines).
+	line int
+	file string
+}
+
+// parse extracts directives from one file's comments. Malformed
+// directives (no analyzer, or no reason) are returned separately so the
+// driver can report them.
+func parse(fset *token.FileSet, file *ast.File) (allows []Allow, malformed []analysis.Diagnostic) {
+	// Collect the set of lines that hold any non-comment tokens, so a
+	// directive can tell whether it shares its line with code.
+	codeLines := map[int]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		if n.Pos().IsValid() {
+			codeLines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := c.Text
+			if !strings.HasPrefix(text, Prefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, Prefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //varsim:allowance — not ours
+			}
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) == 0 {
+				malformed = append(malformed, analysis.Diagnostic{
+					Pos:     c.Pos(),
+					Message: "malformed varsim:allow: missing analyzer name and reason",
+				})
+				continue
+			}
+			if len(fields) < 2 {
+				malformed = append(malformed, analysis.Diagnostic{
+					Pos:     c.Pos(),
+					Message: fmt.Sprintf("varsim:allow %s: a reason is required", fields[0]),
+				})
+				continue
+			}
+			a := Allow{
+				Analyzer: fields[0],
+				Reason:   strings.Join(fields[1:], " "),
+				Pos:      c.Pos(),
+				line:     pos.Line,
+				file:     pos.Filename,
+			}
+			if !codeLines[pos.Line] {
+				// Directive-only line: applies to the next code line.
+				// Stacked directives walk forward together.
+				next := pos.Line + 1
+				for !codeLines[next] && next <= fset.File(c.Pos()).LineCount() {
+					next++
+				}
+				a.line = next
+			}
+			allows = append(allows, a)
+		}
+	}
+	return allows, malformed
+}
+
+// Filter drops diagnostics suppressed by //varsim:allow directives in
+// files and appends a finding for each malformed directive. The
+// returned slice holds the surviving diagnostics.
+func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := map[key]bool{}
+	var malformed []analysis.Diagnostic
+	for _, f := range files {
+		allows, bad := parse(fset, f)
+		malformed = append(malformed, bad...)
+		for _, a := range allows {
+			allowed[key{a.file, a.line, a.Analyzer}] = true
+		}
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if allowed[key{pos.Filename, pos.Line, d.Category}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, d := range malformed {
+		d.Category = "directive"
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package kindexhaust_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/kindexhaust"
+)
+
+func TestKindexhaust(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), kindexhaust.Analyzer,
+		"kindfix",
+	)
+}

@@ -1,0 +1,95 @@
+// Package kindfix is a kindexhaust fixture.
+package kindfix
+
+// Kind is a policed enum; numKinds is a sentinel and not a variant.
+type Kind uint8
+
+const (
+	A Kind = iota
+	B
+	C
+	numKinds
+)
+
+var _ = numKinds
+
+// Exhaustive covers every variant: fine without a default.
+func Exhaustive(k Kind) int {
+	switch k {
+	case A:
+		return 1
+	case B:
+		return 2
+	case C:
+		return 3
+	}
+	return 0
+}
+
+// Missing drops C and has no default: silent fall-through.
+func Missing(k Kind) int {
+	switch k { // want `switch over kindfix\.Kind is missing C and has no default`
+	case A:
+		return 1
+	case B:
+		return 2
+	}
+	return 0
+}
+
+// PanickingDefault fails loudly on unhandled variants: fine.
+func PanickingDefault(k Kind) int {
+	switch k {
+	case A:
+		return 1
+	default:
+		panic("kindfix: unhandled kind")
+	}
+}
+
+// SoftDefault swallows unhandled variants without failing.
+func SoftDefault(k Kind) int {
+	switch k { // want `switch over kindfix\.Kind does not cover B, C and its default does not panic`
+	case A:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Allowed is an intentional subset filter with the audited directive.
+func Allowed(k Kind) bool {
+	//varsim:allow kindexhaust fixture exercises the escape hatch
+	switch k {
+	case A:
+		return true
+	}
+	return false
+}
+
+// NonConstant cases are out of scope for the check.
+func NonConstant(k, other Kind) int {
+	switch k {
+	case other:
+		return 1
+	}
+	return 0
+}
+
+// plain is not a Kind enum; its switches are unpoliced.
+type plain int
+
+const (
+	p0 plain = iota
+	p1
+)
+
+var _ = p1
+
+func Plain(p plain) int {
+	switch p {
+	case p0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,128 @@
+// Package lint is the varsimlint driver: it wires the determinism
+// analyzers (detwall, seedflow, maporder, kindexhaust) to the package
+// loader, applies //varsim:allow suppression, and returns findings in
+// a deterministic order. cmd/varsimlint is a thin CLI over Run; the
+// analyzers' own tests go through internal/lint/analysistest instead.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/detwall"
+	"varsim/internal/lint/directive"
+	"varsim/internal/lint/kindexhaust"
+	"varsim/internal/lint/loader"
+	"varsim/internal/lint/maporder"
+	"varsim/internal/lint/seedflow"
+)
+
+// Analyzers returns the full determinism suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detwall.Analyzer,
+		seedflow.Analyzer,
+		maporder.Analyzer,
+		kindexhaust.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Finding is one surviving diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads the packages matching patterns (go list syntax, run from
+// dir; "" = current directory) and applies every analyzer to each,
+// returning suppression-filtered findings sorted by position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	l := loader.New(dir)
+	metas, err := l.List(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, meta := range metas {
+		if meta.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", meta.ImportPath, meta.Error.Err)
+		}
+		if len(meta.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.Load(meta.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, analyze(pkg, analyzers)...)
+	}
+	sort.Slice(findings, func(i, j int) bool { return less(findings[i], findings[j]) })
+	return findings, nil
+}
+
+// analyze runs the analyzers over one loaded package and filters the
+// diagnostics through //varsim:allow directives.
+func analyze(pkg *loader.Package, analyzers []*analysis.Analyzer) []Finding {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Category = a.Name
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      token.NoPos,
+				Category: a.Name,
+				Message:  fmt.Sprintf("analyzer error: %v", err),
+			})
+		}
+	}
+	diags = directive.Filter(pkg.Fset, pkg.Files, diags)
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			Analyzer: d.Category,
+			Pos:      pkg.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	return findings
+}
+
+func less(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"varsim/internal/lint"
+)
+
+// TestRealTreeIsClean is the acceptance gate: the whole module must
+// pass the determinism suite with no findings beyond the documented
+// //varsim:allow suppressions (which Run already filters out).
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := lint.Run("", []string{"varsim/..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSeededViolation proves the driver actually fires end-to-end: a
+// scratch module with a known maporder violation must produce exactly
+// that finding.
+func TestSeededViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tempmod\n\ngo 1.22\n")
+	write("bad.go", `package tempmod
+
+// Keys leaks map iteration order into a slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+
+	findings, err := lint.Run(dir, []string{"./..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "maporder" {
+		t.Errorf("finding analyzer = %q, want maporder", f.Analyzer)
+	}
+	if !strings.Contains(f.Message, "append to out inside range over map") {
+		t.Errorf("unexpected message: %s", f.Message)
+	}
+	if filepath.Base(f.Pos.Filename) != "bad.go" || f.Pos.Line != 6 {
+		t.Errorf("finding at %s, want bad.go:6", f.Pos)
+	}
+}
+
+// TestByName covers analyzer lookup used by the -analyzers CLI flag.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"detwall", "seedflow", "maporder", "kindexhaust"} {
+		a := lint.ByName(name)
+		if a == nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v", name, a)
+		}
+	}
+	if a := lint.ByName("nope"); a != nil {
+		t.Errorf("ByName(nope) = %v, want nil", a)
+	}
+}

@@ -1,0 +1,320 @@
+// Package loader locates, parses and type-checks Go packages for the
+// varsimlint analyzers without depending on golang.org/x/tools (this
+// repository builds offline, so x/tools/go/packages is unavailable).
+//
+// Package discovery delegates to the go command: `go list -deps -json`
+// supplies, for every package in the transitive build closure, its
+// directory, its build-constraint-filtered file list, and its import
+// map (which resolves std-vendored paths such as
+// golang.org/x/net/http/httpguts → vendor/golang.org/x/net/...). The
+// loader then parses and type-checks with the standard go/parser and
+// go/types. Dependency packages are checked with IgnoreFuncBodies for
+// speed — constant values and API types are all the analyzers need from
+// them — while target packages get full bodies, comments and a
+// populated types.Info.
+//
+// The loader also accepts "extra" packages: directories outside the
+// module (analysistest fixtures under testdata/) registered under a
+// chosen import path. Extra paths shadow module and std paths, and may
+// import module packages (e.g. varsim/internal/rng) freely.
+//
+// cgo is disabled for metadata queries (CGO_ENABLED=0) so every listed
+// package has a pure-Go file set the type checker can consume.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Meta is the subset of `go list -json` output the loader consumes.
+type Meta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *MetaError
+}
+
+// MetaError carries a package loading error reported by the go command.
+type MetaError struct {
+	Err string
+}
+
+// Package is one fully type-checked target package.
+type Package struct {
+	Meta  *Meta
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages. It caches aggressively: a
+// package is listed at most once and type-checked at most once per
+// Loader, so checking ./... shares one pass over the standard library.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir     string            // working directory for go list
+	metas   map[string]*Meta  // import path → metadata
+	byDir   map[string]*Meta  // package dir → metadata (importer context)
+	extra   map[string]string // fixture import path → directory
+	checked map[string]*types.Package
+	sizes   types.Sizes
+}
+
+// New returns a Loader that runs go list in dir (”” = current
+// directory, which must be inside the module).
+func New(dir string) *Loader {
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		dir:     dir,
+		metas:   map[string]*Meta{},
+		byDir:   map[string]*Meta{},
+		extra:   map[string]string{},
+		checked: map[string]*types.Package{},
+		sizes:   types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// AddExtra registers a directory outside the module as importPath.
+// Extra paths shadow module/std packages of the same path and are
+// type-checked from every non-test .go file in dir.
+func (l *Loader) AddExtra(importPath, dir string) { l.extra[importPath] = dir }
+
+// List runs go list over patterns and returns metadata for the matched
+// (non-dependency) packages in the go command's deterministic order.
+// The transitive dependency closure is cached for later type-checking.
+func (l *Loader) List(patterns ...string) ([]*Meta, error) {
+	metas, err := l.golist(append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Meta
+	for _, m := range metas {
+		if !m.DepOnly {
+			targets = append(targets, m)
+		}
+	}
+	return targets, nil
+}
+
+// golist invokes `go list -e -json args...` and merges the results into
+// the metadata cache.
+func (l *Loader) golist(args []string) ([]*Meta, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = l.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("loader: starting go list: %w", err)
+	}
+	dec := json.NewDecoder(out)
+	var listed []*Meta
+	for {
+		m := new(Meta)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		if prev, ok := l.metas[m.ImportPath]; ok {
+			listed = append(listed, prev)
+			continue
+		}
+		l.metas[m.ImportPath] = m
+		if m.Dir != "" {
+			l.byDir[m.Dir] = m
+		}
+		listed = append(listed, m)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return listed, nil
+}
+
+// meta returns cached metadata for path, listing it (with dependencies)
+// on first use.
+func (l *Loader) meta(path string) (*Meta, error) {
+	if m, ok := l.metas[path]; ok {
+		return m, nil
+	}
+	if _, err := l.golist([]string{"-deps", path}); err != nil {
+		return nil, err
+	}
+	m, ok := l.metas[path]
+	if !ok {
+		return nil, fmt.Errorf("loader: package %q not found by go list", path)
+	}
+	return m, nil
+}
+
+// Load parses and fully type-checks one target package (module package
+// by import path, or a registered extra package).
+func (l *Loader) Load(path string) (*Package, error) {
+	meta, files, err := l.parse(path, true)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := l.check(path, meta, files, false, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Meta: meta, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// parse returns metadata and parsed syntax for path. withComments
+// controls whether comments are retained (targets need them for
+// //varsim:allow and analysistest want annotations).
+func (l *Loader) parse(path string, withComments bool) (*Meta, []*ast.File, error) {
+	var meta *Meta
+	if dir, ok := l.extra[path]; ok {
+		m, err := extraMeta(path, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		meta = m
+	} else {
+		m, err := l.meta(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if m.Error != nil {
+			return nil, nil, fmt.Errorf("loader: %s: %s", path, m.Error.Err)
+		}
+		meta = m
+	}
+	if len(meta.GoFiles) == 0 {
+		return nil, nil, fmt.Errorf("loader: %s: no Go files", path)
+	}
+	mode := parser.SkipObjectResolution
+	if withComments {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(meta.Dir, name), nil, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	return meta, files, nil
+}
+
+// extraMeta synthesizes metadata for a fixture directory: every .go
+// file except tests, in sorted order.
+func extraMeta(importPath, dir string) (*Meta, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Meta{ImportPath: importPath, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		m.GoFiles = append(m.GoFiles, name)
+	}
+	sort.Strings(m.GoFiles)
+	if len(m.GoFiles) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in fixture dir %s", dir)
+	}
+	return m, nil
+}
+
+// check type-checks files as package path. Dependency packages skip
+// function bodies; targets keep them and fill info.
+func (l *Loader) check(path string, meta *Meta, files []*ast.File, depOnly bool, info *types.Info) (*types.Package, error) {
+	if pkg, ok := l.checked[path]; ok && depOnly {
+		return pkg, nil
+	}
+	cfg := &types.Config{
+		Importer:         (*loaderImporter)(l),
+		Sizes:            l.sizes,
+		IgnoreFuncBodies: depOnly,
+	}
+	pkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// dep returns the type-checked form of a dependency package.
+func (l *Loader) dep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	withComments := false
+	if _, isExtra := l.extra[path]; isExtra {
+		// Extra (fixture) packages may carry directives a sibling
+		// fixture test inspects; keep their comments.
+		withComments = true
+	}
+	meta, files, err := l.parse(path, withComments)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(path, meta, files, true, nil)
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom, resolving import
+// paths relative to the importing package's ImportMap (std vendoring).
+type loaderImporter Loader
+
+var _ types.ImporterFrom = (*loaderImporter)(nil)
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if _, ok := l.extra[path]; ok {
+		return l.dep(path)
+	}
+	if m, ok := l.byDir[srcDir]; ok {
+		if mapped, ok := m.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	return l.dep(path)
+}

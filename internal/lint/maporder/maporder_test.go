@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer,
+		"maporderfix",
+	)
+}

@@ -1,0 +1,95 @@
+// Package maporderfix is a maporder fixture. Diagnostics anchor at the
+// range statement (the loop is the suppression unit), so want
+// annotations sit on the `for` lines.
+package maporderfix
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Append leaks map order into a slice.
+func Append(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `append to out inside range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// AppendAllowed carries the audited directive, as the sorted-key
+// helpers in the real tree do.
+func AppendAllowed(m map[string]int) []string {
+	var out []string
+	//varsim:allow maporder fixture exercises the escape hatch
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// WriteOut streams entries in map order.
+func WriteOut(m map[string]int, w io.Writer) {
+	for k, v := range m { // want `fmt\.Fprintf inside range over map`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// EncodeOut drives a long-lived buffer from a map range.
+func EncodeOut(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m { // want `buf\.WriteString inside range over map`
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+// FloatSum accumulates floats: addition order changes the result.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `floating-point accumulation into sum inside range over map`
+		sum += v
+	}
+	return sum
+}
+
+// IntSum is exact and commutative: not flagged.
+func IntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// MapToMap builds another map: insertion order is irrelevant.
+func MapToMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// LocalBuilder writes to a builder that lives and dies inside one
+// iteration: order cannot leak out whole.
+func LocalBuilder(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// SliceAppend ranges a slice, not a map: ordered, not flagged.
+func SliceAppend(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Package seedflow implements the seed-provenance analyzer.
+//
+// Every random stream in the simulator must be derived from the run's
+// root seed through varsim/internal/rng (Derive for child seeds, New
+// for streams), so that a run is replayable from (config, seed) and
+// seed hygiene — independent streams per perturbation site — holds.
+// A raw math/rand generator built anywhere else either hides a second
+// seed (breaking single-seed replay) or silently seeds itself from
+// entropy (math/rand/v2 sources are randomly seeded by construction).
+//
+// seedflow flags construction of math/rand and math/rand/v2 generators
+// (rand.New, rand.NewSource, rand.NewZipf, rand/v2.NewPCG,
+// rand/v2.NewChaCha8) in every package except varsim/internal/rng
+// itself, which is the one sanctioned wrapper. It applies outside the
+// determinism wall too: results post-processing that resamples with an
+// undisciplined generator (e.g. bootstrap CIs) is just as fatal to
+// reproducibility as nondeterminism in the core.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"varsim/internal/lint/analysis"
+)
+
+// Analyzer is the seedflow analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "require all RNG construction to flow through varsim/internal/rng seed derivation",
+	Run:  run,
+}
+
+// exemptPrefix is the package allowed to touch raw generators: the
+// seed-derivation wrapper itself.
+const exemptPrefix = "varsim/internal/rng"
+
+// constructors lists flagged generator constructors per package path.
+var constructors = map[string]map[string]bool{
+	"math/rand": {
+		"New": true, "NewSource": true, "NewZipf": true,
+	},
+	"math/rand/v2": {
+		"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+	},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if path == exemptPrefix || strings.HasPrefix(path, exemptPrefix+"/") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if set := constructors[pkg]; set != nil && set[fn.Name()] {
+				pass.Reportf(sel.Pos(), "raw RNG construction %s.%s: derive seeds and streams through varsim/internal/rng (rng.Derive + rng.New) so runs replay from a single root seed", pkg, fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seedflow.Analyzer,
+		"varsim/internal/obsfix",
+		"varsim/internal/rng/wrapfix",
+	)
+}

@@ -1,0 +1,30 @@
+// Package obsfix is a seedflow fixture: raw generator construction
+// outside varsim/internal/rng must be flagged, wherever it happens —
+// this simulated path is outside the determinism wall on purpose.
+package obsfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Bootstrap builds a resampling generator the undisciplined way.
+func Bootstrap() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `raw RNG construction math/rand\.New` `raw RNG construction math/rand\.NewSource`
+}
+
+// V2 constructs self-seeding v2 generators.
+func V2() {
+	_ = randv2.NewPCG(1, 2)           // want `raw RNG construction math/rand/v2\.NewPCG`
+	_ = randv2.NewChaCha8([32]byte{}) // want `raw RNG construction math/rand/v2\.NewChaCha8`
+}
+
+// Allowed demonstrates the audited escape hatch.
+func Allowed() *rand.Rand {
+	//varsim:allow seedflow fixture exercises the escape hatch
+	return rand.New(rand.NewSource(1))
+}
+
+// Draws from an existing generator are fine — only construction is
+// seedflow's concern (draws from the *global* source are detwall's).
+func Draws(r *rand.Rand) int { return r.Intn(10) }

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"varsim/internal/kernel"
 	"varsim/internal/mem"
 	"varsim/internal/sim"
@@ -9,7 +11,9 @@ import (
 )
 
 // HandleEvent dispatches one simulation event. It implements
-// sim.Handler.
+// sim.Handler. KindNone and KindTimer are never scheduled (quantum
+// ticks piggyback on CPU steps), so delivery of either means the event
+// queue is corrupt — fail loudly rather than mis-simulate.
 func (m *Machine) HandleEvent(ev sim.Event) {
 	switch ev.Kind {
 	case sim.KindCPUStep:
@@ -23,6 +27,8 @@ func (m *Machine) HandleEvent(ev sim.Event) {
 		m.wakeThread(int32(ev.Arg))
 	case sim.KindDrain:
 		m.handleDrain()
+	default:
+		panic(fmt.Sprintf("machine: unhandled event kind %v", ev.Kind))
 	}
 }
 

@@ -174,6 +174,9 @@ func (s *Snooper) Grant(cpu int, block uint64, kind AccessKind) GrantResult {
 			}
 			n.invalidateAll(block)
 			s.Invals++
+		default:
+			// PutM returned above; anything else is queue corruption.
+			panic("mem: unhandled access kind in peer snoop")
 		}
 	}
 
@@ -221,6 +224,9 @@ func (s *Snooper) Grant(cpu int, block uint64, kind AccessKind) GrantResult {
 		}
 		v, evicted := req.L2.Fill(block, Modified)
 		s.reclaimVictim(req, v, evicted, &res)
+	default:
+		// PutM returned above; anything else is queue corruption.
+		panic("mem: unhandled access kind at serialization point")
 	}
 	return res
 }

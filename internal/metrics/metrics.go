@@ -306,16 +306,32 @@ func (r *Registry) Each(fn func(Instrument)) {
 }
 
 // Snapshot captures every instrument's current Value keyed by name.
+// Instruments are read in sorted-name order: the snapshot itself is a
+// map, but func-instruments may lazily fold component state, so even
+// the read order stays a function of (config, seed) only.
 func (r *Registry) Snapshot() Snapshot {
 	s := make(Snapshot, len(r.byName))
-	for name, inst := range r.byName {
-		s[name] = inst.Value()
+	for _, name := range r.Names() {
+		s[name] = r.byName[name].Value()
 	}
 	return s
 }
 
 // Snapshot is a point-in-time reading of a registry.
 type Snapshot map[string]float64
+
+// Names returns the snapshot's keys in sorted order. It is the audited
+// sorted-key helper every consumer that serializes or iterates a
+// snapshot must go through (see docs/DETERMINISM.md, maporder).
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	//varsim:allow maporder key collection only; sorted before return
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Delta returns s[name] - prev[name] (missing names read as 0).
 func (s Snapshot) Delta(prev Snapshot, name string) float64 {
@@ -328,11 +344,7 @@ func (s Snapshot) Delta(prev Snapshot, name string) float64 {
 // produce them (0/0 utilization, unbounded latency), and dropping a
 // whole series export over one sample is worse than a typed string.
 func (s Snapshot) MarshalJSON() ([]byte, error) {
-	names := make([]string, 0, len(s))
-	for k := range s {
-		names = append(names, k)
-	}
-	sort.Strings(names)
+	names := s.Names()
 	var b bytes.Buffer
 	b.WriteByte('{')
 	for i, k := range names {

@@ -11,7 +11,6 @@
 package obs
 
 import (
-	"sort"
 	"sync"
 	"time"
 
@@ -116,7 +115,7 @@ func (p *Publisher) Series() metrics.TimeSeries {
 	defer p.mu.RUnlock()
 	names := p.names
 	if names == nil && len(p.samples) > 0 {
-		names = sortedNames(p.samples[0].Values)
+		names = p.samples[0].Values.Names()
 	}
 	return metrics.TimeSeries{
 		IntervalNS: p.intervalNS,
@@ -125,15 +124,6 @@ func (p *Publisher) Series() metrics.TimeSeries {
 		Base:       p.base,
 		Samples:    append([]metrics.Sample(nil), p.samples...),
 	}
-}
-
-func sortedNames(s metrics.Snapshot) []string {
-	names := make([]string, 0, len(s))
-	for k := range s {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return names
 }
 
 // StartSimRateSampler publishes the process-wide simulated-cycle

@@ -6,7 +6,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -107,14 +106,14 @@ func promName(name string) string {
 
 func promKind(k metrics.Kind) string {
 	switch k {
-	case metrics.KindCounter:
+	case metrics.KindCounter, metrics.KindHistogram:
+		// Histograms export their observation count (Instrument.Value),
+		// which is cumulative, so they advertise as counters too.
 		return "counter"
 	case metrics.KindGauge:
 		return "gauge"
 	default:
-		// Histograms export their observation count (Instrument.Value),
-		// which is cumulative.
-		return "counter"
+		panic(fmt.Sprintf("obs: unknown metrics kind %v", k))
 	}
 }
 
@@ -142,12 +141,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	snap, kinds := s.opt.Publisher.Snapshot()
-	names := make([]string, 0, len(snap))
-	for k := range snap {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range snap.Names() {
 		kind := ""
 		if k, ok := kinds[name]; ok {
 			kind = promKind(k)

@@ -9,10 +9,25 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
+
+// sortedKeys returns m's keys in ascending order. It is this package's
+// audited sorted-key helper: report builders iterate maps through it so
+// output order never depends on Go's randomized map iteration.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	//varsim:allow maporder key collection only; sorted before return
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
 
 // Kind classifies a trace event.
 type Kind uint8
@@ -151,6 +166,7 @@ func LockReport(events []Event) []LockStats {
 		return s
 	}
 	for _, ev := range events {
+		//varsim:allow kindexhaust lock report only inspects lock events; the rest are deliberately skipped
 		switch ev.Kind {
 		case LockAcquire:
 			get(ev.Arg).Acquisitions++
@@ -171,8 +187,8 @@ func LockReport(events []Event) []LockStats {
 		}
 	}
 	out := make([]LockStats, 0, len(byLock))
-	for _, s := range byLock {
-		out = append(out, *s)
+	for _, l := range sortedKeys(byLock) {
+		out = append(out, *byLock[l])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Contentions != out[j].Contentions {
@@ -205,6 +221,7 @@ func ThreadTimeline(events []Event) []ThreadStats {
 		return s
 	}
 	for _, ev := range events {
+		//varsim:allow kindexhaust timeline only inspects scheduling and txn events; the rest are deliberately skipped
 		switch ev.Kind {
 		case Dispatch:
 			get(ev.Thread).Dispatches++
@@ -221,10 +238,9 @@ func ThreadTimeline(events []Event) []ThreadStats {
 		}
 	}
 	out := make([]ThreadStats, 0, len(byThread))
-	for _, s := range byThread {
-		out = append(out, *s)
+	for _, t := range sortedKeys(byThread) {
+		out = append(out, *byThread[t])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
 	return out
 }
 
@@ -235,6 +251,7 @@ func CPUBusy(events []Event, numCPUs int) []int64 {
 	since := make(map[int32]int64)
 	onCPU := make(map[int32]int32) // thread -> cpu
 	for _, ev := range events {
+		//varsim:allow kindexhaust busy accounting only needs dispatch/block pairs; the rest are deliberately skipped
 		switch ev.Kind {
 		case Dispatch:
 			since[ev.Thread] = ev.TimeNS

@@ -129,6 +129,7 @@ func convertRun(pid int, r Run) []chromeEvent {
 	usedLockTracks := map[int32]bool{}
 
 	for _, ev := range r.Events {
+		//varsim:allow kindexhaust viz renders spans and instants; Wake has no visual representation
 		switch ev.Kind {
 		case trace.Dispatch:
 			cpu := int(ev.CPU)
@@ -208,11 +209,25 @@ func convertRun(pid int, r Run) []chromeEvent {
 			})
 		}
 	}
-	for k, t0 := range heldSince {
+	// Emit still-held locks in (thread, lock) order: ranging the map
+	// directly wrote these events in randomized order, which broke
+	// byte-identical trace replays.
+	held := make([]tl, 0, len(heldSince))
+	//varsim:allow maporder key collection only; sorted before emission
+	for k := range heldSince {
+		held = append(held, k)
+	}
+	sort.Slice(held, func(i, j int) bool {
+		if held[i].thread != held[j].thread {
+			return held[i].thread < held[j].thread
+		}
+		return held[i].lock < held[j].lock
+	})
+	for _, k := range held {
 		usedLockTracks[k.thread] = true
 		out = append(out, chromeEvent{
 			Name: fmt.Sprintf("lock %d held", k.lock), Ph: "X",
-			TS: usec(t0), Dur: usec(endNS - t0),
+			TS: usec(heldSince[k]), Dur: usec(endNS - heldSince[k]),
 			PID: pid, TID: lockTID(k.thread),
 		})
 	}
@@ -225,6 +240,7 @@ func convertRun(pid int, r Run) []chromeEvent {
 		})
 	}
 	threads := make([]int32, 0, len(usedLockTracks))
+	//varsim:allow maporder key collection only; sorted before use
 	for t := range usedLockTracks {
 		threads = append(threads, t)
 	}

@@ -25,6 +25,7 @@ import (
 // Names lists the supported workloads in Table 3's order.
 func Names() []string {
 	names := make([]string, 0, len(registry))
+	//varsim:allow maporder key collection only; sorted before return
 	for n := range registry {
 		names = append(names, n)
 	}

@@ -1,0 +1,107 @@
+package varsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// replayArtifacts performs one complete pipeline — workload build,
+// machine assembly, warmup, a sampled measurement run, and traced
+// branches — entirely from fixed (config, seed) inputs, and returns the
+// externally visible artifacts: the run result and metric series as
+// JSON, and the branched trace event streams.
+func replayArtifacts(t *testing.T) (resJSON, seriesJSON []byte, traces [][]TraceEvent) {
+	t.Helper()
+	cfg := DefaultConfig()
+	wl, err := NewWorkload("oltp", cfg, 11)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	m, err := NewMachine(cfg, wl, 7)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if _, err := m.Run(15); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	res, series, err := SampleRun(m, 15, 99, 50_000)
+	if err != nil {
+		t.Fatalf("SampleRun: %v", err)
+	}
+	resJSON, err = json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	seriesJSON, err = json.Marshal(series)
+	if err != nil {
+		t.Fatalf("marshal series: %v", err)
+	}
+
+	_, traces, err = BranchTraces(m, "replay", 2, 10, 1234, 1<<16)
+	if err != nil {
+		t.Fatalf("BranchTraces: %v", err)
+	}
+	return resJSON, seriesJSON, traces
+}
+
+// TestByteIdenticalReplay is the determinism contract's regression
+// test: two pipelines run from identical (config, seed) inputs must
+// produce byte-identical metrics JSON and identical trace event
+// streams. This is what the varsimlint analyzers exist to protect —
+// a map-order or wall-clock leak anywhere in the core shows up here as
+// a diff.
+func TestByteIdenticalReplay(t *testing.T) {
+	res1, series1, traces1 := replayArtifacts(t)
+	res2, series2, traces2 := replayArtifacts(t)
+
+	if !bytes.Equal(res1, res2) {
+		t.Errorf("result JSON differs between replays:\n run1: %s\n run2: %s", res1, res2)
+	}
+	if !bytes.Equal(series1, series2) {
+		t.Errorf("metric series JSON differs between replays:\n run1: %s\n run2: %s", series1, series2)
+	}
+	if len(traces1) != len(traces2) {
+		t.Fatalf("trace stream counts differ: %d vs %d", len(traces1), len(traces2))
+	}
+	for i := range traces1 {
+		if len(traces1[i]) == 0 {
+			t.Errorf("branch %d produced no trace events", i)
+			continue
+		}
+		if !reflect.DeepEqual(traces1[i], traces2[i]) {
+			t.Errorf("trace stream %d differs between replays (%d vs %d events)", i, len(traces1[i]), len(traces2[i]))
+		}
+	}
+}
+
+// TestDistinctSeedsDiverge guards the other half of the contract: the
+// perturbation seed must actually matter, otherwise the replay test
+// above would pass vacuously on a simulator that ignores its seeds.
+func TestDistinctSeedsDiverge(t *testing.T) {
+	cfg := DefaultConfig()
+	wl, err := NewWorkload("oltp", cfg, 11)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	m, err := NewMachine(cfg, wl, 7)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if _, err := m.Run(15); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	a, _, err := SampleRun(m, 15, 99, 50_000)
+	if err != nil {
+		t.Fatalf("SampleRun seed 99: %v", err)
+	}
+	b, _, err := SampleRun(m, 15, 100, 50_000)
+	if err != nil {
+		t.Fatalf("SampleRun seed 100: %v", err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("runs with different perturbation seeds produced identical results")
+	}
+}
