@@ -1,14 +1,16 @@
 # Build/test entry points. `make check` is the tier-1 flow: build,
 # vet, lint, full tests, plus the race detector over the packages with
-# concurrency-sensitive state (the event kernel, the metrics registry
-# and its process-wide cycle counter, the heartbeat goroutine, the
-# trace buffer, and the live observability server). `make lint` runs
-# varsimlint, the determinism-contract analyzer suite (detwall,
-# seedflow, maporder, kindexhaust) — see docs/DETERMINISM.md.
+# concurrency-sensitive state (the event kernel, the worker-fleet
+# scheduler, the metrics registry and its process-wide cycle counter,
+# the heartbeat goroutine, the trace buffer, and the live observability
+# server). `make lint` runs varsimlint, the determinism-contract
+# analyzer suite (detwall, seedflow, maporder, kindexhaust) — see
+# docs/DETERMINISM.md. `make bench-json` records the fleet scheduler's
+# sequential-vs-parallel cost to BENCH_parallel.json.
 
 GO ?= go
 
-.PHONY: all build test bench vet lint race check clean
+.PHONY: all build test bench bench-json vet lint race check clean
 
 all: build
 
@@ -24,6 +26,12 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# One iteration per benchmark: a smoke-speed record of the parallel
+# fleet's cost (sequential vs -j 4 BranchSpace, snapshot cost, registry
+# snapshot), written as JSON for diffing across commits.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_parallel.json
+
 vet:
 	$(GO) vet ./...
 
@@ -31,7 +39,7 @@ lint:
 	$(GO) run ./cmd/varsimlint ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs
+	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs
 
 check: vet lint test race
 	$(GO) build ./...

@@ -93,6 +93,36 @@ func BenchmarkSnapshot(b *testing.B) {
 	}
 }
 
+// benchBranchSpace measures the quick OLTP space (8 perturbed runs
+// branched from one warmed checkpoint) at a given fleet width. The
+// sequential/parallel pair quantifies the fleet scheduler's speedup;
+// the ratio is bounded above by the host's core count, so on a
+// single-core host the two report the same time.
+func benchBranchSpace(b *testing.B, workers int) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 8
+	wl, err := NewWorkload("oltp", cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := NewMachine(cfg, wl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := base.Run(100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BranchSpace(base, "bench", 8, 40, 42, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchSpaceSequential(b *testing.B) { benchBranchSpace(b, 1) }
+func BenchmarkBranchSpaceParallel(b *testing.B)   { benchBranchSpace(b, 4) }
+
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
 
 func BenchmarkCharacterize(b *testing.B) { benchExperiment(b, "characterize") }

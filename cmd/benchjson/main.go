@@ -1,0 +1,136 @@
+// Command benchjson runs a selected set of Go benchmarks and records
+// their results as machine-readable JSON — the artifact behind
+// `make bench-json`, which captures the fleet scheduler's
+// sequential-vs-parallel cost alongside the snapshot and registry
+// numbers it depends on (BENCH_parallel.json at the repo root).
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-benchtime 1x] [-pkg ./...] [-out file.json]
+//
+// The tool shells out to `go test -run ^$ -bench <regex> -benchmem`,
+// parses the standard benchmark output lines, and writes one JSON
+// document with host provenance (CPU count, GOMAXPROCS, Go version)
+// plus every benchmark's ns/op, B/op and allocs/op. When both
+// BenchmarkBranchSpaceSequential and BenchmarkBranchSpaceParallel are
+// present it also records their ratio: the fleet speedup, which is
+// bounded above by the host's core count.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsRate int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the JSON artifact benchjson writes.
+type Document struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Bench      string   `json:"bench_regex"`
+	BenchTime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
+	// FleetSpeedup is sequential ns/op divided by parallel ns/op for
+	// the BranchSpace pair, when both ran. The ratio cannot exceed the
+	// host's core count: a 1-CPU host reports ~1.0 by construction.
+	FleetSpeedup float64 `json:"fleet_speedup,omitempty"`
+}
+
+// benchLine matches standard `go test -bench` output, e.g.
+//
+//	BenchmarkSnapshot-4   20   4665355 ns/op   20236873 B/op   179 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", "BranchSpace|BenchmarkSnapshot$|RegistrySnapshot", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test (1x = one iteration per benchmark)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, buf.String())
+		os.Exit(1)
+	}
+
+	doc := Document{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+	}
+	byName := map[string]Result{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			bpo, _ := strconv.ParseFloat(m[4], 64)
+			r.BytesPerOp = int64(bpo)
+			r.AllocsRate, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		doc.Results = append(doc.Results, r)
+		byName[r.Name] = r
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines matched -bench %q; output was:\n%s", *bench, buf.String())
+		os.Exit(1)
+	}
+	seq, okS := byName["BenchmarkBranchSpaceSequential"]
+	par, okP := byName["BenchmarkBranchSpaceParallel"]
+	if okS && okP && par.NsPerOp > 0 {
+		doc.FleetSpeedup = seq.NsPerOp / par.NsPerOp
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark results to %s", len(doc.Results), *out)
+	if doc.FleetSpeedup > 0 {
+		fmt.Printf(" (fleet speedup %.2fx on %d CPUs)", doc.FleetSpeedup, doc.NumCPU)
+	}
+	fmt.Println()
+}

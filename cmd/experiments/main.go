@@ -2,13 +2,19 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-list] <experiment>... | all
+//	experiments [-quick] [-seed N] [-j N] [-list] <experiment>... | all
 //
 // Each experiment prints the same rows/series the paper reports (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results). The full versions keep the paper's
 // structure — 16 processors, 20 runs per configuration; -quick scales
 // them down for a fast smoke pass.
+//
+// -j sets the worker-fleet width for each experiment's independent
+// simulations (perturbed runs, per-configuration spaces); the default
+// is one worker per host CPU. Output is byte-identical for every -j
+// value — results merge by run index, never completion order (see
+// docs/PARALLELISM.md). -j 1 forces the sequential path.
 //
 // Observability: -manifest writes a run-provenance JSON (seeds, config
 // hash, toolchain, per-experiment wall clock and simulated-cycle
@@ -23,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"varsim/internal/fleet"
 	"varsim/internal/harness"
 	"varsim/internal/machine"
 	"varsim/internal/obs"
@@ -35,6 +43,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "scaled-down smoke versions of the experiments")
 	seed := flag.Uint64("seed", 0xA1A3, "workload identity seed (the shared initial conditions)")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "fleet workers for each experiment's independent runs (1 = sequential; output is identical for any value)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also export every table as CSV into this directory")
 	jsonOut := flag.String("json", "", "also export every table as JSON to this file")
@@ -95,24 +104,25 @@ func main() {
 	}
 	var hb *report.Heartbeat
 	if *heartbeat > 0 {
-		hb = report.StartHeartbeat(os.Stderr, *heartbeat, len(todo), machine.SimulatedCycles)
+		hb = report.StartHeartbeat(os.Stderr, *heartbeat, len(todo), machine.SimulatedCycles, fleet.Read)
 	}
 
 	// Live observability: a fleet tracker fed by the harness progress
 	// callback backs /status, and a wall-clock sampler of the process-wide
 	// simulated-cycle counter backs /series (and the dashboard's
 	// throughput chart). Nothing here runs when -http is unset.
-	var fleet *obs.Fleet
+	var tracker *obs.Fleet
 	if *httpAddr != "" {
 		names := make([]string, len(todo))
 		for i, e := range todo {
 			names[i] = e.Name
 		}
-		fleet = obs.NewFleet(names, machine.SimulatedCycles)
+		tracker = obs.NewFleet(names, machine.SimulatedCycles)
+		tracker.TrackJobs(fleet.Read)
 		pub := obs.NewPublisher()
 		srv, err := obs.Serve(*httpAddr, obs.Options{
 			Publisher: pub,
-			Fleet:     fleet,
+			Fleet:     tracker,
 			SimCycles: machine.SimulatedCycles,
 		})
 		if err != nil {
@@ -130,15 +140,15 @@ func main() {
 		collector = report.NewCollector()
 	}
 	h := harness.New(harness.Options{
-		Out: os.Stdout, Seed: *seed, Quick: *quick, Report: collector,
+		Out: os.Stdout, Seed: *seed, Quick: *quick, Workers: *workers, Report: collector,
 		OnProgress: func(p harness.Progress) {
 			if p.Done {
-				fleet.Finish(p.Experiment, p.Err)
+				tracker.Finish(p.Experiment, p.Err)
 				if hb != nil {
 					hb.Advance(1)
 				}
 			} else {
-				fleet.Start(p.Experiment)
+				tracker.Start(p.Experiment)
 			}
 		},
 	})

@@ -12,6 +12,12 @@
 //	varsim -workload oltp -txns 200 -manifest run.json -cpuprofile cpu.pprof
 //	varsim -workload barnes -runs 2 -perfetto trace.json
 //	varsim -workload oltp -txns 500 -interval-us 50 -http 127.0.0.1:8080
+//	varsim -workload oltp -runs 20 -txns 200 -j 4
+//
+// The -j flag sets the worker-fleet width for the perturbed runs
+// (default: one worker per host CPU). Output is byte-identical for
+// every -j value: runs merge by index, never completion order (see
+// docs/PARALLELISM.md). -j 1 forces the sequential path.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -52,6 +59,7 @@ func main() {
 		txns    = flag.Int64("txns", 200, "transactions to measure")
 		warmup  = flag.Int64("warmup", 500, "transactions to run before measuring")
 		runs    = flag.Int("runs", 1, "perturbed runs branched from the warmed checkpoint")
+		workers = flag.Int("j", runtime.GOMAXPROCS(0), "fleet workers for the perturbed runs (1 = sequential; output is identical for any value)")
 		seed    = flag.Uint64("seed", 1, "workload identity seed")
 		pseed   = flag.Uint64("perturb-seed", 1, "perturbation seed base")
 		perturb = flag.Int64("perturb", 4, "max perturbation per L2 miss (ns); 0 disables")
@@ -128,6 +136,7 @@ func main() {
 		MeasureTxns:  *txns,
 		Runs:         *runs,
 		SeedBase:     *pseed,
+		Workers:      *workers,
 	}
 
 	// Run, then flush profiles and the manifest even on failure — a
@@ -254,7 +263,7 @@ func run(e varsim.Experiment, rc runCfg) error {
 	if rc.perfetto != "" {
 		var traces [][]varsim.TraceEvent
 		var err error
-		sp, traces, err = varsim.BranchTraces(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, 0)
+		sp, traces, err = varsim.BranchTraces(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, 0, e.Workers)
 		if err != nil {
 			return err
 		}
@@ -273,7 +282,7 @@ func run(e varsim.Experiment, rc runCfg) error {
 			len(runs), rc.perfetto)
 	} else {
 		var err error
-		sp, err = varsim.BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase)
+		sp, err = varsim.BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers)
 		if err != nil {
 			return err
 		}

@@ -43,8 +43,10 @@ func main() {
 		res.CPT, res.L2Misses, res.CtxSwitches)
 
 	// The methodology: branch many runs from the same checkpoint, each
-	// with a unique perturbation seed, and look at the space.
-	space, err := varsim.BranchSpace(m, "oltp/8cpu", 20, 200, 99)
+	// with a unique perturbation seed, and look at the space. The final
+	// argument is the fleet width (-1 = one worker per host CPU); the
+	// space is byte-identical for any width.
+	space, err := varsim.BranchSpace(m, "oltp/8cpu", 20, 200, 99, -1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"varsim/internal/config"
+	"varsim/internal/fleet"
 	"varsim/internal/machine"
 	"varsim/internal/rng"
 	"varsim/internal/stats"
@@ -135,6 +136,12 @@ type Experiment struct {
 	MeasureTxns  int64  // transactions per measured run
 	Runs         int
 	SeedBase     uint64 // perturbation seeds are derived from this
+	// Workers is the fleet width for branching the perturbed runs:
+	// 0 or 1 runs them sequentially on the calling goroutine, n > 1
+	// fans them out over n fleet workers, and a negative value selects
+	// one worker per host CPU (fleet.DefaultWorkers). Any value yields
+	// byte-identical results — see docs/PARALLELISM.md.
+	Workers int
 }
 
 // Validate checks the experiment definition.
@@ -176,30 +183,55 @@ func (e Experiment) Prepare() (*machine.Machine, error) {
 
 // RunSpace performs the experiment: it warms up once, snapshots, and
 // branches Runs perturbed futures — exactly the paper's multiple-runs
-// methodology (§3.3, §5.1).
+// methodology (§3.3, §5.1). The branches execute on e.Workers fleet
+// workers.
 func (e Experiment) RunSpace() (Space, error) {
 	base, err := e.Prepare()
 	if err != nil {
 		return Space{}, err
 	}
-	return BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase)
+	return BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers)
 }
 
 // BranchSpace branches n perturbed measurement runs of measureTxns
-// transactions each from the given checkpoint machine.
-func BranchSpace(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64) (Space, error) {
+// transactions each from the given checkpoint machine, executing them
+// on a fleet of workers (0 or 1 = sequential on the calling goroutine,
+// negative = one worker per host CPU).
+//
+// Each branch is a pure job — a private Snapshot clone re-seeded from
+// (seedBase, index) — and the fleet merges results by job index, so the
+// space is byte-identical for every worker count. Snapshot only reads
+// the checkpoint, which stays quiescent for the duration, so the clones
+// may be taken concurrently inside the jobs.
+func BranchSpace(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, workers int) (Space, error) {
 	sp := Space{Label: label}
-	for i := 0; i < n; i++ {
+	if n <= 0 {
+		return sp, nil
+	}
+	results, err := fleet.Map(fleet.Width(workers), n, func(i int) (machine.Result, error) {
 		m := checkpoint.Snapshot()
 		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
-		res, err := m.Run(measureTxns)
-		if err != nil {
-			return Space{}, fmt.Errorf("core: run %d: %w", i, err)
-		}
-		sp.Values = append(sp.Values, res.CPT)
-		sp.Results = append(sp.Results, res)
+		return m.Run(measureTxns)
+	})
+	if err != nil {
+		return Space{}, runError(err)
+	}
+	sp.Results = results
+	sp.Values = make([]float64, n)
+	for i, res := range results {
+		sp.Values[i] = res.CPT
 	}
 	return sp, nil
+}
+
+// runError rewrites a fleet job failure in the package's historical
+// "run %d" terms, preserving the wrapped cause.
+func runError(err error) error {
+	var je *fleet.JobError
+	if errors.As(err, &je) {
+		return fmt.Errorf("core: run %d: %w", je.Index, je.Err)
+	}
+	return err
 }
 
 // TimeSample implements §5.2's systematic sampling of a workload's
@@ -236,7 +268,7 @@ func (e Experiment) TimeSample(checkpoints []int64) ([]Space, error) {
 			}
 			done = ck
 		}
-		sp, err := BranchSpace(m, fmt.Sprintf("%s@%d", e.Label, ck), e.Runs, e.MeasureTxns, rng.Derive(e.SeedBase, 0x100+uint64(ci)))
+		sp, err := BranchSpace(m, fmt.Sprintf("%s@%d", e.Label, ck), e.Runs, e.MeasureTxns, rng.Derive(e.SeedBase, 0x100+uint64(ci)), e.Workers)
 		if err != nil {
 			return nil, err
 		}

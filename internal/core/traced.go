@@ -1,8 +1,7 @@
 package core
 
 import (
-	"fmt"
-
+	"varsim/internal/fleet"
 	"varsim/internal/machine"
 	"varsim/internal/rng"
 	"varsim/internal/trace"
@@ -13,21 +12,39 @@ import (
 // the checkpoint machine, returning the space plus each run's event
 // stream (capEvents per run, 0 = unbounded). Seeds derive exactly as in
 // BranchSpace, so run i here reproduces run i there — the traces are
-// the Figure-1 view of the same sample space.
-func BranchTraces(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents int) (Space, [][]trace.Event, error) {
+// the Figure-1 view of the same sample space. Like BranchSpace, the
+// runs execute on a fleet of workers with an index-ordered merge, so
+// both the space and the per-run streams are byte-identical for every
+// worker count.
+func BranchTraces(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents, workers int) (Space, [][]trace.Event, error) {
 	sp := Space{Label: label}
-	traces := make([][]trace.Event, 0, n)
-	for i := 0; i < n; i++ {
+	if n <= 0 {
+		return sp, nil, nil
+	}
+	type traced struct {
+		res    machine.Result
+		events []trace.Event
+	}
+	branches, err := fleet.Map(fleet.Width(workers), n, func(i int) (traced, error) {
 		m := checkpoint.Snapshot()
 		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
 		m.EnableTrace(capEvents)
 		res, err := m.Run(measureTxns)
 		if err != nil {
-			return Space{}, nil, fmt.Errorf("core: traced run %d: %w", i, err)
+			return traced{}, err
 		}
-		sp.Values = append(sp.Values, res.CPT)
-		sp.Results = append(sp.Results, res)
-		traces = append(traces, m.Trace().Events())
+		return traced{res: res, events: m.Trace().Events()}, nil
+	})
+	if err != nil {
+		return Space{}, nil, runError(err)
+	}
+	sp.Values = make([]float64, n)
+	sp.Results = make([]machine.Result, n)
+	traces := make([][]trace.Event, n)
+	for i, b := range branches {
+		sp.Values[i] = b.res.CPT
+		sp.Results[i] = b.res
+		traces[i] = b.events
 	}
 	return sp, traces, nil
 }

@@ -1,0 +1,159 @@
+// Package fleet is the parallel run-fleet scheduler: a worker pool that
+// fans pure simulation jobs out across host cores and merges their
+// results by job index, never by completion order.
+//
+// It lives deliberately *outside* the determinism wall (see
+// docs/DETERMINISM.md and docs/PARALLELISM.md): detwall forbids `go`
+// statements in the simulation core because host goroutine scheduling
+// is nondeterministic, and that is exactly the nondeterminism this
+// package contains. The contract that makes the combination safe is the
+// one the wall already enforces — every job is a pure function of
+// (checkpoint clone, derived seed) with no shared mutable state — so
+// the only thing the host scheduler can reorder is *when* each job
+// runs, never *what* it computes. Index-ordered merging then makes the
+// output byte-identical to the sequential path for any worker count.
+//
+// Callers inside the wall (core.BranchSpace, the harness's
+// per-configuration space builds) may import and call this package:
+// the call site contains no forbidden construct, and the scheduler
+// guarantees the call is observationally sequential.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the fleet width used when a caller passes
+// workers <= 0: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Width normalizes the experiment-facing workers convention used
+// across varsim (core.Experiment.Workers, harness.Options.Workers, the
+// CLIs' -j flag) into an explicit pool width for Map: 0 and 1 mean
+// sequential, a negative value means one worker per host CPU, and any
+// other value is taken literally.
+func Width(workers int) int {
+	switch {
+	case workers == 0:
+		return 1
+	case workers < 0:
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// JobError reports the failure of one job, carrying the job's index so
+// error messages stay stable across worker counts and so callers can
+// re-label the failure in their own terms (e.g. "run 3").
+type JobError struct {
+	Index int
+	Err   error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("fleet: job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying job failure to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Stats is a point-in-time view of process-wide fleet activity, the
+// occupancy counterpart of machine.SimulatedCycles: live observers (the
+// obs /status fleet view, the stderr heartbeat) read it to show how
+// busy the worker pool is and how far through the run matrix it is.
+type Stats struct {
+	BusyWorkers int64 `json:"busy_workers"`
+	JobsDone    int64 `json:"jobs_done"`
+	JobsTotal   int64 `json:"jobs_total"`
+}
+
+var (
+	busyWorkers atomic.Int64
+	jobsDone    atomic.Int64
+	jobsTotal   atomic.Int64
+)
+
+// Read returns the process-wide fleet occupancy counters.
+func Read() Stats {
+	return Stats{
+		BusyWorkers: busyWorkers.Load(),
+		JobsDone:    jobsDone.Load(),
+		JobsTotal:   jobsTotal.Load(),
+	}
+}
+
+// Map runs job(i) for every i in [0, n) across a pool of workers and
+// returns the n results merged by job index. The scheduling rules:
+//
+//   - workers <= 0 selects DefaultWorkers(); the pool never exceeds n.
+//   - workers == 1 (or n == 1) degenerates to a plain loop on the
+//     calling goroutine — the sequential path, with zero goroutines.
+//   - Every job runs to completion even when another job fails: partial
+//     fleets would make "which runs happened" depend on worker timing.
+//   - A panicking job is captured per-job and surfaced as an error, the
+//     same conversion harness.RunOne applies to panicking experiments.
+//   - The returned error is the failure with the lowest job index (a
+//     *JobError), which is independent of completion order.
+//
+// Jobs must be pure: closures over private state (a machine.Snapshot
+// clone and a derived seed) with no writes to anything shared. Under
+// that contract Map's result is byte-identical for every worker count.
+func Map[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	jobsTotal.Add(int64(n))
+	runOne := func(i int) {
+		busyWorkers.Add(1)
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &JobError{Index: i, Err: fmt.Errorf("panic: %v", r)}
+			}
+			busyWorkers.Add(-1)
+			jobsDone.Add(1)
+		}()
+		v, err := job(i)
+		if err != nil {
+			errs[i] = &JobError{Index: i, Err: err}
+			return
+		}
+		results[i] = v
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			runOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			return results, errs[i]
+		}
+	}
+	return results, nil
+}

@@ -16,6 +16,7 @@ import (
 
 	"varsim/internal/config"
 	"varsim/internal/core"
+	"varsim/internal/fleet"
 	"varsim/internal/report"
 	"varsim/internal/rng"
 )
@@ -28,6 +29,12 @@ type Options struct {
 	// benchmarks; Full keeps the paper's experiment structure (20 runs
 	// per configuration, paper run lengths, 16 CPUs).
 	Quick bool
+	// Workers is the fleet width for the embarrassingly parallel parts
+	// of each experiment (perturbed branches of a space, independent
+	// per-configuration space builds): 0 or 1 runs them sequentially,
+	// n > 1 uses n fleet workers, negative uses one per host CPU. Every
+	// width produces byte-identical output (docs/PARALLELISM.md).
+	Workers int
 	// Report, when non-nil, captures every printed table in structured
 	// form for CSV/JSON export.
 	Report *report.Collector
@@ -85,37 +92,48 @@ type Experiment struct {
 	Run   func(*H) error
 }
 
-// Experiments lists all experiments in paper order.
-func Experiments() []Experiment {
-	return []Experiment{
-		{"fig1", "Figure 1: OS-scheduled threads in two runs (2-way vs 4-way L2)", (*H).Fig1SchedulerDivergence},
-		{"fig2", "Figure 2: OLTP time variability, real-system mode, 3 interval sizes", (*H).Fig2TimeVariabilityReal},
-		{"fig3", "Figure 3: OLTP space variability, real-system mode, five runs", (*H).Fig3SpaceVariabilityReal},
-		{"fig4", "Figure 4: 500-transaction OLTP runs vs DRAM latency 80-90 ns", (*H).Fig4DRAMSweep},
-		{"table1", "Table 1 + Figure 5: L2 associativity experiment and WCR", (*H).Table1CacheAssoc},
-		{"table2", "Table 2 + Figure 6: reorder-buffer experiment and WCR", (*H).Table2ROB},
-		{"table3", "Table 3 + Figure 7: space variability across seven benchmarks", (*H).Table3Benchmarks},
-		{"table4", "Table 4: OLTP space variability vs run length", (*H).Table4RunLengths},
-		{"fig8", "Figure 8: time variability across phases of long OLTP runs", (*H).Fig8LongRunPhases},
-		{"fig9", "Figure 9: performance from multiple starting checkpoints", (*H).Fig9Checkpoints},
-		{"fig10", "Figure 10: 95% confidence intervals vs sample size (ROB 32 vs 64)", (*H).Fig10ConfidenceIntervals},
-		{"fig11", "Figure 11: t-test acceptance/rejection regions (ROB 32 vs 64)", (*H).Fig11TTestRegions},
-		{"table5", "Table 5: runs needed per significance level", (*H).Table5RunsNeeded},
-		{"perturb", "Sec 3.3: perturbation-magnitude sensitivity (0-1 vs 0-4 ns)", (*H).PerturbSensitivity},
-		{"anova", "Sec 5.2: ANOVA of time vs space variability", (*H).ANOVAStudy},
-		{"ablations", "Extensions: perturbation site, MESI vs MOSI, snoop occupancy, checkpoint sampling, normality", (*H).Ablations},
-		{"characterize", "Workload characterization: memory, sharing, OS and lock behaviour per benchmark", (*H).Characterize},
+// allExperiments is the experiment list in paper order, built once at
+// init; Experiments hands out copies and Find resolves names through
+// an index instead of rescanning it.
+var allExperiments = []Experiment{
+	{"fig1", "Figure 1: OS-scheduled threads in two runs (2-way vs 4-way L2)", (*H).Fig1SchedulerDivergence},
+	{"fig2", "Figure 2: OLTP time variability, real-system mode, 3 interval sizes", (*H).Fig2TimeVariabilityReal},
+	{"fig3", "Figure 3: OLTP space variability, real-system mode, five runs", (*H).Fig3SpaceVariabilityReal},
+	{"fig4", "Figure 4: 500-transaction OLTP runs vs DRAM latency 80-90 ns", (*H).Fig4DRAMSweep},
+	{"table1", "Table 1 + Figure 5: L2 associativity experiment and WCR", (*H).Table1CacheAssoc},
+	{"table2", "Table 2 + Figure 6: reorder-buffer experiment and WCR", (*H).Table2ROB},
+	{"table3", "Table 3 + Figure 7: space variability across seven benchmarks", (*H).Table3Benchmarks},
+	{"table4", "Table 4: OLTP space variability vs run length", (*H).Table4RunLengths},
+	{"fig8", "Figure 8: time variability across phases of long OLTP runs", (*H).Fig8LongRunPhases},
+	{"fig9", "Figure 9: performance from multiple starting checkpoints", (*H).Fig9Checkpoints},
+	{"fig10", "Figure 10: 95% confidence intervals vs sample size (ROB 32 vs 64)", (*H).Fig10ConfidenceIntervals},
+	{"fig11", "Figure 11: t-test acceptance/rejection regions (ROB 32 vs 64)", (*H).Fig11TTestRegions},
+	{"table5", "Table 5: runs needed per significance level", (*H).Table5RunsNeeded},
+	{"perturb", "Sec 3.3: perturbation-magnitude sensitivity (0-1 vs 0-4 ns)", (*H).PerturbSensitivity},
+	{"anova", "Sec 5.2: ANOVA of time vs space variability", (*H).ANOVAStudy},
+	{"ablations", "Extensions: perturbation site, MESI vs MOSI, snoop occupancy, checkpoint sampling, normality", (*H).Ablations},
+	{"characterize", "Workload characterization: memory, sharing, OS and lock behaviour per benchmark", (*H).Characterize},
+}
+
+// experimentIndex maps experiment names to their entries for Find.
+var experimentIndex = func() map[string]Experiment {
+	idx := make(map[string]Experiment, len(allExperiments))
+	for _, e := range allExperiments {
+		idx[e.Name] = e
 	}
+	return idx
+}()
+
+// Experiments lists all experiments in paper order. Callers receive a
+// fresh slice so they may append or reorder freely.
+func Experiments() []Experiment {
+	return append([]Experiment(nil), allExperiments...)
 }
 
 // Find returns the experiment with the given name.
 func Find(name string) (Experiment, bool) {
-	for _, e := range Experiments() {
-		if e.Name == name {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	e, ok := experimentIndex[name]
+	return e, ok
 }
 
 // All runs every experiment in order.
@@ -191,7 +209,27 @@ func (h *H) experiment(label string, cfg config.Config, wl string, warmup, measu
 		MeasureTxns:  h.scaleTxns(measure),
 		Runs:         h.runs(),
 		SeedBase:     rng.Derive(h.opt.Seed, salt),
+		Workers:      h.opt.Workers,
 	}
+}
+
+// spaceFleet runs one experiment space per configuration value on the
+// harness fleet and merges them into the cache map. Each space build is
+// independent (own config, own seed salt), so the per-configuration
+// level parallelizes exactly like the per-run level inside each space;
+// the index-ordered merge keeps the cache contents identical to the
+// sequential build for any worker count.
+func (h *H) spaceFleet(vals []int, cache map[int]core.Space, build func(v int) core.Experiment) error {
+	spaces, err := fleet.Map(fleet.Width(h.opt.Workers), len(vals), func(i int) (core.Space, error) {
+		return build(vals[i]).RunSpace()
+	})
+	if err != nil {
+		return err
+	}
+	for i, sp := range spaces {
+		cache[vals[i]] = sp
+	}
+	return nil
 }
 
 // ---- Shared spaces --------------------------------------------------
@@ -202,15 +240,13 @@ func (h *H) assocSpaces() (map[int]core.Space, error) {
 	if len(h.assocSpacesCache) > 0 {
 		return h.assocSpacesCache, nil
 	}
-	for _, assoc := range []int{1, 2, 4} {
+	err := h.spaceFleet([]int{1, 2, 4}, h.assocSpacesCache, func(assoc int) core.Experiment {
 		cfg := h.baseConfig()
 		cfg.L2.Assoc = assoc
-		e := h.experiment(fmt.Sprintf("%d-way", assoc), cfg, "oltp", 500, 200, 0x11+uint64(assoc))
-		sp, err := e.RunSpace()
-		if err != nil {
-			return nil, err
-		}
-		h.assocSpacesCache[assoc] = sp
+		return h.experiment(fmt.Sprintf("%d-way", assoc), cfg, "oltp", 500, 200, 0x11+uint64(assoc))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return h.assocSpacesCache, nil
 }
@@ -224,16 +260,14 @@ func (h *H) robSpaces() (map[int]core.Space, error) {
 	// The paper measures 50-transaction runs; our transactions are ~10^3
 	// smaller, so 200 transactions is still a far shorter absolute window
 	// than the paper's (see DESIGN.md on scaling).
-	for _, rob := range []int{16, 32, 64} {
+	err := h.spaceFleet([]int{16, 32, 64}, h.robSpacesCache, func(rob int) core.Experiment {
 		cfg := h.baseConfig()
 		cfg.Processor = config.OOOProc
 		cfg.OOO.ROBEntries = rob
-		e := h.experiment(fmt.Sprintf("%d-entry", rob), cfg, "oltp", 300, 200, 0x22+uint64(rob))
-		sp, err := e.RunSpace()
-		if err != nil {
-			return nil, err
-		}
-		h.robSpacesCache[rob] = sp
+		return h.experiment(fmt.Sprintf("%d-entry", rob), cfg, "oltp", 300, 200, 0x22+uint64(rob))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return h.robSpacesCache, nil
 }

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 
 	"varsim/internal/config"
 	"varsim/internal/core"
+	"varsim/internal/fleet"
 	"varsim/internal/machine"
 	"varsim/internal/plot"
 	"varsim/internal/rng"
@@ -276,8 +278,15 @@ func (h *H) Table3Benchmarks() error {
 		{"barnes", 0}, {"ocean", 0}, {"ecperf", 3}, {"slashcode", 10},
 		{"oltp", 500}, {"apache", 500}, {"specjbb", 500},
 	}
-	rows := [][]string{}
-	for _, b := range benches {
+	// The seven benchmark spaces are independent, so they build on the
+	// fleet; rows render afterwards in the benches order, which keeps the
+	// table byte-identical for any worker count.
+	type benchSpace struct {
+		txns  int64
+		space core.Space
+	}
+	spaces, err := fleet.Map(fleet.Width(h.opt.Workers), len(benches), func(i int) (benchSpace, error) {
+		b := benches[i]
 		txns := workloads.DefaultTxns(b.name)
 		e := h.experiment(b.name, h.baseConfig(), b.name, b.warmup, txns, 0x33)
 		if b.name == "barnes" || b.name == "ocean" {
@@ -286,12 +295,23 @@ func (h *H) Table3Benchmarks() error {
 		}
 		sp, err := e.RunSpace()
 		if err != nil {
-			return fmt.Errorf("%s: %w", b.name, err)
+			return benchSpace{}, err
 		}
-		s := sp.Summary()
+		return benchSpace{txns: e.MeasureTxns, space: sp}, nil
+	})
+	if err != nil {
+		var je *fleet.JobError
+		if errors.As(err, &je) {
+			return fmt.Errorf("%s: %w", benches[je.Index].name, je.Err)
+		}
+		return err
+	}
+	rows := [][]string{}
+	for i, bs := range spaces {
+		s := bs.space.Summary()
 		rows = append(rows, []string{
-			b.name,
-			fmt.Sprintf("%d", e.MeasureTxns),
+			benches[i].name,
+			fmt.Sprintf("%d", bs.txns),
 			fmt.Sprintf("%.0f", s.Mean),
 			fmt.Sprintf("%.2f%%", s.CoV),
 			fmt.Sprintf("%.2f%%", s.RangePct),
@@ -309,12 +329,21 @@ func (h *H) Table4RunLengths() error {
 	if err != nil {
 		return err
 	}
+	// Each run length branches its own space from the shared prepared
+	// checkpoint; Snapshot is read-only on its receiver, so the five
+	// lengths fan out on the fleet concurrently.
+	lengths := []int64{200, 400, 600, 800, 1000}
+	spaces, err := fleet.Map(fleet.Width(h.opt.Workers), len(lengths), func(i int) (core.Space, error) {
+		txns := lengths[i]
+		return core.BranchSpace(base, fmt.Sprintf("%d", txns), h.runs(), h.scaleTxns(txns),
+			rng.Derive(h.opt.Seed, 0x440+uint64(txns)), h.opt.Workers)
+	})
+	if err != nil {
+		return err
+	}
 	rows := [][]string{}
-	for _, txns := range []int64{200, 400, 600, 800, 1000} {
-		sp, err := core.BranchSpace(base, fmt.Sprintf("%d", txns), h.runs(), h.scaleTxns(txns), rng.Derive(h.opt.Seed, 0x440+uint64(txns)))
-		if err != nil {
-			return err
-		}
+	for i, sp := range spaces {
+		txns := lengths[i]
 		s := sp.Summary()
 		var sumNS int64
 		for _, r := range sp.Results {

@@ -1,0 +1,14 @@
+// Package corewall is a detwall fixture pinning the other side of the
+// fleet boundary: core is inside the determinism wall, so a go
+// statement there must still be reported even though core may *call*
+// the fleet scheduler. Parallelism belongs in internal/fleet; the wall
+// packages only submit pure jobs to it.
+package corewall
+
+// SpawnInCore must be flagged: wall packages may not start goroutines
+// themselves.
+func SpawnInCore(done chan struct{}) {
+	go func() { // want `go statement inside the determinism wall`
+		close(done)
+	}()
+}

@@ -1,0 +1,25 @@
+// Package fleetok mirrors the real internal/fleet scheduler: worker
+// goroutines *outside* the determinism wall. detwall must stay silent
+// here — the fleet is the one place host-scheduled concurrency is
+// allowed, because its jobs are pure and its merge is index-ordered
+// (docs/PARALLELISM.md). This fixture pins that boundary: if fleet is
+// ever added to wallPrefixes by accident, this file starts failing.
+package fleetok
+
+import "sync"
+
+// Fan runs job(i) for i in [0, n) on worker goroutines and merges the
+// results by index, like fleet.Map.
+func Fan(n int, job func(int) int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,14 @@
+// Package harnesswall is a detwall fixture: the harness fans its space
+// builds out through internal/fleet, but remains inside the
+// determinism wall itself — a raw go statement there must be reported.
+package harnesswall
+
+// SpawnInHarness must be flagged: the harness delegates concurrency to
+// the fleet scheduler instead of spawning goroutines directly.
+func SpawnInHarness(results []float64, run func(int) float64) {
+	for i := range results {
+		go func(i int) { // want `go statement inside the determinism wall`
+			results[i] = run(i)
+		}(i)
+	}
+}

@@ -107,12 +107,43 @@ func NewSnooper(nodes []*NodeCaches) *Snooper {
 	return &Snooper{Nodes: nodes}
 }
 
-// Clone deep-copies the snooper and all node caches.
+// Clone deep-copies the snooper and all node caches. The copy is built
+// in a single arena — one node array, one cache array, one line slab
+// for every cache of every node — instead of per-cache allocations:
+// the cache hierarchy dominates a machine snapshot's size, and fleet
+// workers snapshot the checkpoint once per branched run, so the clone
+// path is allocation-count-sensitive (see BenchmarkSnapshot).
 func (s *Snooper) Clone() *Snooper {
 	cp := *s
-	cp.Nodes = make([]*NodeCaches, len(s.Nodes))
+	nNodes := len(s.Nodes)
+	totalLines := 0
+	for _, n := range s.Nodes {
+		totalLines += len(n.L1I.lines) + len(n.L1D.lines) + len(n.L2.lines)
+	}
+	var (
+		nodes  = make([]NodeCaches, nNodes)
+		caches = make([]Cache, 3*nNodes)
+		slab   = make([]line, totalLines)
+	)
+	off := 0
+	cloneCache := func(src *Cache) *Cache {
+		dst := &caches[0]
+		caches = caches[1:]
+		*dst = *src
+		n := len(src.lines)
+		dst.lines = slab[off : off+n : off+n]
+		copy(dst.lines, src.lines)
+		off += n
+		return dst
+	}
+	cp.Nodes = make([]*NodeCaches, nNodes)
 	for i, n := range s.Nodes {
-		cp.Nodes[i] = n.Clone()
+		nodes[i] = NodeCaches{
+			L1I: cloneCache(n.L1I),
+			L1D: cloneCache(n.L1D),
+			L2:  cloneCache(n.L2),
+		}
+		cp.Nodes[i] = &nodes[i]
 	}
 	return &cp
 }

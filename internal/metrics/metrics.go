@@ -217,7 +217,8 @@ func (h *Histogram) Value() float64 { return float64(h.count) }
 // concurrent use: the simulator is single-threaded by design.
 type Registry struct {
 	byName map[string]Instrument
-	names  []string // sorted; rebuilt lazily after registration
+	names  []string     // sorted; re-sorted lazily after registration
+	insts  []Instrument // aligned with names; rebuilt with it
 	sorted bool
 }
 
@@ -283,12 +284,28 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.Register(&gaugeFunc{name: name, fn: fn})
 }
 
+// ensureSorted re-sorts the name list and rebuilds the aligned
+// instrument list after registrations. Registration happens only while
+// wiring a machine; every later Names/Each/Snapshot call hits the
+// cached slices (see BenchmarkRegistrySnapshot).
+func (r *Registry) ensureSorted() {
+	if r.sorted {
+		return
+	}
+	sort.Strings(r.names)
+	if cap(r.insts) < len(r.names) {
+		r.insts = make([]Instrument, len(r.names))
+	}
+	r.insts = r.insts[:len(r.names)]
+	for i, name := range r.names {
+		r.insts[i] = r.byName[name]
+	}
+	r.sorted = true
+}
+
 // Names returns all instrument names in sorted order.
 func (r *Registry) Names() []string {
-	if !r.sorted {
-		sort.Strings(r.names)
-		r.sorted = true
-	}
+	r.ensureSorted()
 	return r.names
 }
 
@@ -300,19 +317,22 @@ func (r *Registry) Len() int { return len(r.byName) }
 
 // Each calls fn for every instrument in sorted name order.
 func (r *Registry) Each(fn func(Instrument)) {
-	for _, name := range r.Names() {
-		fn(r.byName[name])
+	r.ensureSorted()
+	for _, inst := range r.insts {
+		fn(inst)
 	}
 }
 
 // Snapshot captures every instrument's current Value keyed by name.
 // Instruments are read in sorted-name order: the snapshot itself is a
 // map, but func-instruments may lazily fold component state, so even
-// the read order stays a function of (config, seed) only.
+// the read order stays a function of (config, seed) only. The read
+// walks the cached name-aligned instrument list, not the map.
 func (r *Registry) Snapshot() Snapshot {
-	s := make(Snapshot, len(r.byName))
-	for _, name := range r.Names() {
-		s[name] = r.byName[name].Value()
+	r.ensureSorted()
+	s := make(Snapshot, len(r.names))
+	for i, name := range r.names {
+		s[name] = r.insts[i].Value()
 	}
 	return s
 }

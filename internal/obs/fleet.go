@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"varsim/internal/fleet"
 )
 
 // Experiment states reported by /status.
@@ -21,7 +23,8 @@ const (
 type Fleet struct {
 	mu        sync.Mutex
 	start     time.Time
-	simCycles func() int64 // process-wide counter; nil disables throughput
+	simCycles func() int64       // process-wide counter; nil disables throughput
+	jobs      func() fleet.Stats // worker-pool occupancy; nil disables
 	simStart  int64
 	order     []string
 	byName    map[string]*fleetEntry
@@ -31,8 +34,10 @@ type fleetEntry struct {
 	state   string
 	started time.Time
 	simAt   int64 // counter reading when the experiment started
+	jobsAt  int64 // fleet jobs-done reading when the experiment started
 	wall    time.Duration
 	cycles  int64
+	jobs    int64 // fleet jobs the experiment ran
 	errMsg  string
 }
 
@@ -64,6 +69,18 @@ func (f *Fleet) add(name string) *fleetEntry {
 	return e
 }
 
+// TrackJobs wires a reader of the worker-pool occupancy counters
+// (normally fleet.Read), adding busy-worker and job-progress fields to
+// /status, /metrics and the heartbeat line. Safe on a nil receiver.
+func (f *Fleet) TrackJobs(fn func() fleet.Stats) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.jobs = fn
+}
+
 // Start marks the named experiment running (registering it if
 // unknown). Safe on a nil receiver, so callers can wire progress
 // callbacks unconditionally.
@@ -78,6 +95,9 @@ func (f *Fleet) Start(name string) {
 	e.started = time.Now()
 	if f.simCycles != nil {
 		e.simAt = f.simCycles()
+	}
+	if f.jobs != nil {
+		e.jobsAt = f.jobs().JobsDone
 	}
 }
 
@@ -96,6 +116,9 @@ func (f *Fleet) Finish(name string, err error) {
 		if f.simCycles != nil {
 			e.cycles = f.simCycles() - e.simAt
 		}
+		if f.jobs != nil {
+			e.jobs = f.jobs().JobsDone - e.jobsAt
+		}
 	}
 	if err != nil {
 		e.state = StateFailed
@@ -112,6 +135,7 @@ type ExperimentStatus struct {
 	WallSecs        float64 `json:"wall_seconds,omitempty"`
 	SimCycles       int64   `json:"sim_cycles,omitempty"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	Jobs            int64   `json:"jobs,omitempty"` // fleet jobs the experiment ran so far
 	Error           string  `json:"error,omitempty"`
 }
 
@@ -119,15 +143,20 @@ type ExperimentStatus struct {
 // experiment's state. ETA extrapolates from the mean pace of finished
 // experiments, exactly like the stderr heartbeat.
 type FleetStatus struct {
-	Total           int                `json:"total"`
-	Done            int                `json:"done"`
-	Failed          int                `json:"failed"`
-	Running         []string           `json:"running,omitempty"`
-	ElapsedSecs     float64            `json:"elapsed_seconds"`
-	ETASecs         float64            `json:"eta_seconds,omitempty"`
-	SimCycles       int64              `json:"sim_cycles"`
-	SimCyclesPerSec float64            `json:"sim_cycles_per_sec"`
-	Experiments     []ExperimentStatus `json:"experiments"`
+	Total           int      `json:"total"`
+	Done            int      `json:"done"`
+	Failed          int      `json:"failed"`
+	Running         []string `json:"running,omitempty"`
+	ElapsedSecs     float64  `json:"elapsed_seconds"`
+	ETASecs         float64  `json:"eta_seconds,omitempty"`
+	SimCycles       int64    `json:"sim_cycles"`
+	SimCyclesPerSec float64  `json:"sim_cycles_per_sec"`
+	// Worker-pool occupancy (zero unless TrackJobs is wired): workers
+	// busy right now and simulation jobs finished/submitted so far.
+	WorkersBusy int64              `json:"workers_busy,omitempty"`
+	JobsDone    int64              `json:"jobs_done,omitempty"`
+	JobsTotal   int64              `json:"jobs_total,omitempty"`
+	Experiments []ExperimentStatus `json:"experiments"`
 }
 
 // Status snapshots the fleet.
@@ -152,10 +181,14 @@ func (f *Fleet) Status() FleetStatus {
 			if f.simCycles != nil {
 				es.SimCycles = f.simCycles() - e.simAt
 			}
+			if f.jobs != nil {
+				es.Jobs = f.jobs().JobsDone - e.jobsAt
+			}
 			st.Running = append(st.Running, name)
 		case StateDone, StateFailed:
 			es.WallSecs = e.wall.Seconds()
 			es.SimCycles = e.cycles
+			es.Jobs = e.jobs
 			if e.state == StateFailed {
 				st.Failed++
 			}
@@ -171,6 +204,12 @@ func (f *Fleet) Status() FleetStatus {
 		if st.ElapsedSecs > 0 {
 			st.SimCyclesPerSec = float64(st.SimCycles) / st.ElapsedSecs
 		}
+	}
+	if f.jobs != nil {
+		js := f.jobs()
+		st.WorkersBusy = js.BusyWorkers
+		st.JobsDone = js.JobsDone
+		st.JobsTotal = js.JobsTotal
 	}
 	if st.Done > 0 && st.Done < st.Total {
 		st.ETASecs = st.ElapsedSecs / float64(st.Done) * float64(st.Total-st.Done)
@@ -191,6 +230,9 @@ func (s FleetStatus) Line() string {
 	out += fmt.Sprintf(", elapsed %s", time.Duration(s.ElapsedSecs*float64(time.Second)).Round(time.Second))
 	if s.SimCyclesPerSec > 0 {
 		out += fmt.Sprintf(", %.3g sim-cycles/s", s.SimCyclesPerSec)
+	}
+	if s.JobsTotal > 0 {
+		out += fmt.Sprintf(", fleet %d busy %d/%d jobs", s.WorkersBusy, s.JobsDone, s.JobsTotal)
 	}
 	if s.ETASecs > 0 {
 		out += fmt.Sprintf(", ETA ~%s", time.Duration(s.ETASecs*float64(time.Second)).Round(time.Second))

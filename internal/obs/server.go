@@ -139,6 +139,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if st.SimCyclesPerSec > 0 {
 			write("varsim_sim_cycles_per_second", "gauge", st.SimCyclesPerSec)
 		}
+		if st.JobsTotal > 0 {
+			write("varsim_fleet_workers_busy", "gauge", float64(st.WorkersBusy))
+			write("varsim_fleet_jobs_done", "counter", float64(st.JobsDone))
+			write("varsim_fleet_jobs_total", "counter", float64(st.JobsTotal))
+		}
 	}
 	snap, kinds := s.opt.Publisher.Snapshot()
 	for _, name := range snap.Names() {

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"varsim/internal/fleet"
 )
 
 // Heartbeat periodically prints run progress to w (normally stderr):
@@ -27,6 +29,7 @@ type Heartbeat struct {
 	start     time.Time
 	simCycles func() int64
 	simStart  int64
+	jobs      func() fleet.Stats
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -58,14 +61,17 @@ func styled(w io.Writer) bool {
 // StartHeartbeat begins emitting a progress line to w every period.
 // total is the number of experiments expected (0 disables the ETA);
 // simCycles, when non-nil, reads the process-wide simulated-cycle
-// counter for throughput reporting. Call Stop when done.
-func StartHeartbeat(w io.Writer, period time.Duration, total int, simCycles func() int64) *Heartbeat {
+// counter for throughput reporting; jobs, when non-nil, reads the
+// worker-pool occupancy counters (normally fleet.Read) so the line
+// shows how busy the fleet is. Call Stop when done.
+func StartHeartbeat(w io.Writer, period time.Duration, total int, simCycles func() int64, jobs func() fleet.Stats) *Heartbeat {
 	h := &Heartbeat{
 		w:         w,
 		styled:    styled(w),
 		total:     total,
 		start:     time.Now(),
 		simCycles: simCycles,
+		jobs:      jobs,
 		stop:      make(chan struct{}),
 	}
 	if simCycles != nil {
@@ -113,6 +119,11 @@ func (h *Heartbeat) Line() string {
 		cycles := h.simCycles() - h.simStart
 		if secs := time.Since(h.start).Seconds(); secs > 0 && cycles > 0 {
 			s += fmt.Sprintf(", %.3g sim-cycles/s", float64(cycles)/secs)
+		}
+	}
+	if h.jobs != nil {
+		if js := h.jobs(); js.JobsTotal > 0 {
+			s += fmt.Sprintf(", fleet %d busy %d/%d jobs", js.BusyWorkers, js.JobsDone, js.JobsTotal)
 		}
 	}
 	if h.total > 0 && done > 0 && done < int64(h.total) {

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"varsim/internal/fleet"
 )
 
 // An empty collector must still export valid documents: a JSON empty
@@ -289,7 +291,8 @@ func TestConfigHash(t *testing.T) {
 func TestHeartbeat(t *testing.T) {
 	var buf bytes.Buffer
 	cycles := int64(0)
-	h := StartHeartbeat(&buf, time.Hour, 4, func() int64 { return cycles })
+	h := StartHeartbeat(&buf, time.Hour, 4, func() int64 { return cycles },
+		func() fleet.Stats { return fleet.Stats{BusyWorkers: 3, JobsDone: 40, JobsTotal: 120} })
 	cycles = 1_000_000
 	h.Advance(2)
 	line := h.Line()
@@ -298,6 +301,9 @@ func TestHeartbeat(t *testing.T) {
 	}
 	if !strings.Contains(line, "sim-cycles/s") {
 		t.Fatalf("Line() = %q, want throughput", line)
+	}
+	if !strings.Contains(line, "fleet 3 busy 40/120 jobs") {
+		t.Fatalf("Line() = %q, want fleet occupancy", line)
 	}
 	if !strings.Contains(line, "ETA") {
 		t.Fatalf("Line() = %q, want an ETA mid-run", line)
@@ -311,7 +317,7 @@ func TestHeartbeat(t *testing.T) {
 // sequences or spinner glyphs, so redirected logs stay grep-able.
 func TestHeartbeatPlainOutput(t *testing.T) {
 	var buf bytes.Buffer
-	h := StartHeartbeat(&buf, time.Hour, 2, nil)
+	h := StartHeartbeat(&buf, time.Hour, 2, nil, nil)
 	h.beat()
 	h.beat()
 	h.Stop()
@@ -333,7 +339,7 @@ func TestHeartbeatPlainOutput(t *testing.T) {
 // have no TTY to detect) and checks the redraw-in-place protocol.
 func TestHeartbeatStyledOutput(t *testing.T) {
 	var buf bytes.Buffer
-	h := StartHeartbeat(&buf, time.Hour, 2, nil)
+	h := StartHeartbeat(&buf, time.Hour, 2, nil, nil)
 	h.styled = true
 	h.beat()
 	h.beat()

@@ -105,7 +105,7 @@ func TestBarnesTwoRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, traces, err := core.BranchTraces(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, 0)
+	sp, traces, err := core.BranchTraces(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, 0, e.Workers)
 	if err != nil {
 		t.Fatal(err)
 	}

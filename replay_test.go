@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"runtime"
 	"testing"
+
+	"varsim/internal/harness"
+	"varsim/internal/report"
 )
 
 // replayArtifacts performs one complete pipeline — workload build,
@@ -40,7 +44,7 @@ func replayArtifacts(t *testing.T) (resJSON, seriesJSON []byte, traces [][]Trace
 		t.Fatalf("marshal series: %v", err)
 	}
 
-	_, traces, err = BranchTraces(m, "replay", 2, 10, 1234, 1<<16)
+	_, traces, err = BranchTraces(m, "replay", 2, 10, 1234, 1<<16, 1)
 	if err != nil {
 		t.Fatalf("BranchTraces: %v", err)
 	}
@@ -73,6 +77,127 @@ func TestByteIdenticalReplay(t *testing.T) {
 		}
 		if !reflect.DeepEqual(traces1[i], traces2[i]) {
 			t.Errorf("trace stream %d differs between replays (%d vs %d events)", i, len(traces1[i]), len(traces2[i]))
+		}
+	}
+}
+
+// workerWidths are the fleet widths the parallel-replay tests compare:
+// the sequential path, a fixed small pool, and one worker per host CPU.
+func workerWidths() []int {
+	widths := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		widths = append(widths, n)
+	}
+	return widths
+}
+
+// TestParallelByteIdenticalBranchSpace pins the fleet scheduler's core
+// guarantee on a BranchSpace-based experiment: the table1 harness
+// experiment (three L2-associativity spaces, each a fleet of perturbed
+// runs) must render byte-identical stdout and byte-identical report
+// tables at -j 1, -j 4 and -j NumCPU.
+func TestParallelByteIdenticalBranchSpace(t *testing.T) {
+	type artifact struct {
+		workers int
+		stdout  []byte
+		tables  []byte
+	}
+	var arts []artifact
+	for _, workers := range workerWidths() {
+		e, ok := harness.Find("table1")
+		if !ok {
+			t.Fatal("table1 experiment not found")
+		}
+		var out bytes.Buffer
+		col := report.NewCollector()
+		h := harness.New(harness.Options{
+			Out: &out, Seed: 11, Quick: true, Workers: workers, Report: col,
+		})
+		if err := h.RunOne(e); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var tables bytes.Buffer
+		if err := col.WriteJSON(&tables); err != nil {
+			t.Fatalf("workers=%d: export tables: %v", workers, err)
+		}
+		arts = append(arts, artifact{workers, out.Bytes(), tables.Bytes()})
+	}
+	for _, a := range arts[1:] {
+		if !bytes.Equal(arts[0].stdout, a.stdout) {
+			t.Errorf("stdout differs between -j %d and -j %d:\n-j %d: %s\n-j %d: %s",
+				arts[0].workers, a.workers, arts[0].workers, arts[0].stdout, a.workers, a.stdout)
+		}
+		if !bytes.Equal(arts[0].tables, a.tables) {
+			t.Errorf("report tables differ between -j %d and -j %d:\n-j %d: %s\n-j %d: %s",
+				arts[0].workers, a.workers, arts[0].workers, arts[0].tables, a.workers, a.tables)
+		}
+	}
+}
+
+// TestParallelByteIdenticalTimeSample pins the same guarantee on the
+// TimeSample path: per-checkpoint spaces branched at several fleet
+// widths must marshal to byte-identical JSON.
+func TestParallelByteIdenticalTimeSample(t *testing.T) {
+	sample := func(workers int) []byte {
+		cfg := DefaultConfig()
+		cfg.NumCPUs = 4
+		e := Experiment{
+			Label: "ts", Config: cfg, Workload: "oltp", WorkloadSeed: 11,
+			MeasureTxns: 10, Runs: 4, SeedBase: 42, Workers: workers,
+		}
+		spaces, err := e.TimeSample([]int64{5, 10, 15})
+		if err != nil {
+			t.Fatalf("workers=%d: TimeSample: %v", workers, err)
+		}
+		b, err := json.Marshal(spaces)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal: %v", workers, err)
+		}
+		return b
+	}
+	widths := workerWidths()
+	base := sample(widths[0])
+	for _, w := range widths[1:] {
+		if got := sample(w); !bytes.Equal(base, got) {
+			t.Errorf("TimeSample JSON differs between -j %d and -j %d:\n-j %d: %s\n-j %d: %s",
+				widths[0], w, widths[0], base, w, got)
+		}
+	}
+}
+
+// TestParallelBranchSpaceMatchesSequential drives the facade BranchSpace
+// directly over every width, including a width far beyond the run
+// count, and requires identical JSON.
+func TestParallelBranchSpaceMatchesSequential(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 4
+	wl, err := NewWorkload("oltp", cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cfg, wl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	var base []byte
+	for _, workers := range []int{1, 2, 4, 32, -1} {
+		sp, err := BranchSpace(m, "par", 6, 10, 99, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = b
+			continue
+		}
+		if !bytes.Equal(base, b) {
+			t.Errorf("space JSON at workers=%d differs from sequential:\nseq: %s\ngot: %s", workers, base, b)
 		}
 	}
 }

@@ -152,17 +152,21 @@ func NewMachine(cfg Config, wl Workload, perturbSeed uint64) (*Machine, error) {
 }
 
 // BranchSpace branches n perturbed measurement runs from a warmed
-// checkpoint machine.
-func BranchSpace(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64) (Space, error) {
-	return core.BranchSpace(checkpoint, label, n, measureTxns, seedBase)
+// checkpoint machine. workers sets the fleet width for the runs: 0 or 1
+// runs them sequentially, n > 1 uses n parallel workers, negative uses
+// one worker per host CPU. Results merge by run index, so the space is
+// byte-identical for every worker count (docs/PARALLELISM.md).
+func BranchSpace(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, workers int) (Space, error) {
+	return core.BranchSpace(checkpoint, label, n, measureTxns, seedBase, workers)
 }
 
 // BranchTraces is BranchSpace with structured tracing enabled on every
 // branched run, returning each run's event stream alongside the space.
 // Seeds derive as in BranchSpace, so run i reproduces run i there; feed
 // the streams to internal/traceviz for side-by-side Perfetto export.
-func BranchTraces(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents int) (Space, [][]TraceEvent, error) {
-	return core.BranchTraces(checkpoint, label, n, measureTxns, seedBase, capEvents)
+// workers follows the BranchSpace convention.
+func BranchTraces(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents, workers int) (Space, [][]TraceEvent, error) {
+	return core.BranchTraces(checkpoint, label, n, measureTxns, seedBase, capEvents, workers)
 }
 
 // MetricsRegistry is the typed registry of named counters, gauges and
@@ -291,7 +295,9 @@ func PaperExperiments() []string {
 // RunPaperExperiment regenerates one of the paper's tables or figures,
 // writing the rendered rows to out. quick scales the experiment down for
 // smoke runs; the full version keeps the paper's structure (20 runs per
-// configuration on a 16-processor target).
+// configuration on a 16-processor target). The experiment runs
+// sequentially; use the harness directly (or the CLIs' -j flag) for a
+// parallel fleet.
 func RunPaperExperiment(name string, out io.Writer, seed uint64, quick bool) error {
 	e, ok := harness.Find(name)
 	if !ok {

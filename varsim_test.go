@@ -20,7 +20,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if _, err := m.Run(20); err != nil {
 		t.Fatal(err)
 	}
-	sp, err := BranchSpace(m, "demo", 4, 15, 99)
+	sp, err := BranchSpace(m, "demo", 4, 15, 99, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
