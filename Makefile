@@ -2,15 +2,21 @@
 # vet, lint, full tests, plus the race detector over the packages with
 # concurrency-sensitive state (the event kernel, the worker-fleet
 # scheduler, the metrics registry and its process-wide cycle counter,
-# the heartbeat goroutine, the trace buffer, and the live observability
-# server). `make lint` runs varsimlint, the determinism-contract
-# analyzer suite (detwall, seedflow, maporder, kindexhaust) — see
-# docs/DETERMINISM.md. `make bench-json` records the fleet scheduler's
-# sequential-vs-parallel cost to BENCH_parallel.json.
+# the heartbeat goroutine, the trace buffer, the live observability
+# server, and the crash-safety layer: the result journal, the fault
+# injector and the core resume path above them). `make lint` runs
+# varsimlint, the determinism-contract analyzer suite (detwall,
+# seedflow, maporder, kindexhaust) — see docs/DETERMINISM.md.
+# `make bench-json` records the fleet scheduler's
+# sequential-vs-parallel cost to BENCH_parallel.json. `make fuzz-smoke`
+# runs each native fuzz target briefly over its committed corpus — the
+# CI smoke of the journal codec and stats input contracts
+# (docs/RESILIENCE.md).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-json vet lint race check clean
+.PHONY: all build test bench bench-json vet lint race fuzz-smoke check clean
 
 all: build
 
@@ -39,7 +45,15 @@ lint:
 	$(GO) run ./cmd/varsimlint ./...
 
 race:
-	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs
+	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs ./internal/journal ./internal/faultinject ./internal/core
+
+# Go's fuzzer accepts one target per invocation; each run seeds from the
+# committed corpus under the package's testdata/fuzz and then mutates
+# for FUZZTIME.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzRecordCodec$$' -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz='^FuzzCI$$' -fuzztime=$(FUZZTIME) ./internal/stats
+	$(GO) test -run='^$$' -fuzz='^FuzzANOVA$$' -fuzztime=$(FUZZTIME) ./internal/stats
 
 check: vet lint test race
 	$(GO) build ./...

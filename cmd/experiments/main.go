@@ -23,17 +23,29 @@
 // fleet throughput series (/series), pprof and an HTML dashboard, and
 // -cpuprofile/-memprofile/-trace enable Go's profilers. Captured tables
 // and the manifest are flushed even when an experiment fails.
+//
+// Crash safety: -journal writes an fsync'd result journal into a
+// directory as each simulation run settles; after a crash or SIGINT
+// drain, re-running the same command with -resume replays journaled
+// runs and executes only the rest. -job-timeout and -retries bound
+// each run attempt; retried runs reuse their original derived seed
+// (docs/RESILIENCE.md).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"varsim/internal/core"
 	"varsim/internal/fleet"
 	"varsim/internal/harness"
+	"varsim/internal/journal"
 	"varsim/internal/machine"
 	"varsim/internal/obs"
 	"varsim/internal/profile"
@@ -53,6 +65,10 @@ func main() {
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file")
 	traceProf := flag.String("trace", "", "write a runtime execution trace to this file")
+	journalDir := flag.String("journal", "", "write a crash-safe result journal into this directory as runs settle")
+	resumeDir := flag.String("resume", "", "resume from a journal directory (re-run the same experiments; journaled runs replay as cache hits)")
+	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock timeout per run attempt (0 = unbounded)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed run (the retry reuses the run's original derived seed)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-seed N] <experiment>... | all\n\nexperiments:\n", os.Args[0])
 		for _, e := range harness.Experiments() {
@@ -95,6 +111,43 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Crash-safety plumbing: open (resume) or create the result journal
+	// and arm the graceful drain — first SIGINT/SIGTERM finishes
+	// in-flight runs and flushes the journal, a second aborts.
+	var jw *journal.Writer
+	var jc *journal.Cache
+	switch {
+	case *resumeDir != "":
+		jc, jw, err = journal.OpenDir(*resumeDir, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+	case *journalDir != "":
+		if err = os.MkdirAll(*journalDir, 0o777); err == nil {
+			jw, err = journal.CreateDir(*journalDir)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "experiments: draining in-flight runs; signal again to abort immediately")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+	resil := core.Resilience{
+		Journal:    jw,
+		Cache:      jc,
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
+		Stop:       stop,
+	}
+
 	var man *report.Manifest
 	if *manifestP != "" {
 		man = report.NewManifest("experiments", *seed, machine.SimulatedCycles)
@@ -105,6 +158,9 @@ func main() {
 	var hb *report.Heartbeat
 	if *heartbeat > 0 {
 		hb = report.StartHeartbeat(os.Stderr, *heartbeat, len(todo), machine.SimulatedCycles, fleet.Read)
+		if jw != nil || jc != nil {
+			hb.TrackJournal(journal.ReadStats)
+		}
 	}
 
 	// Live observability: a fleet tracker fed by the harness progress
@@ -119,6 +175,9 @@ func main() {
 		}
 		tracker = obs.NewFleet(names, machine.SimulatedCycles)
 		tracker.TrackJobs(fleet.Read)
+		if jw != nil || jc != nil {
+			tracker.TrackJournal(journal.ReadStats)
+		}
 		pub := obs.NewPublisher()
 		srv, err := obs.Serve(*httpAddr, obs.Options{
 			Publisher: pub,
@@ -141,6 +200,7 @@ func main() {
 	}
 	h := harness.New(harness.Options{
 		Out: os.Stdout, Seed: *seed, Quick: *quick, Workers: *workers, Report: collector,
+		Resilience: resil,
 		OnProgress: func(p harness.Progress) {
 			if p.Done {
 				tracker.Finish(p.Experiment, p.Err)
@@ -155,28 +215,45 @@ func main() {
 
 	// Run the experiments, remembering the first failure instead of
 	// exiting on it: tables captured so far, the manifest and any
-	// profiles are all worth flushing on the way out.
+	// profiles are all worth flushing on the way out. A graceful drain
+	// (SIGINT/SIGTERM) is not a failure — the run stops, the journal
+	// keeps what settled, and -resume picks up the rest.
 	var firstErr error
+	drained := false
 	for _, e := range todo {
+		select {
+		case <-stop:
+			drained = true
+		default:
+		}
+		if drained {
+			break
+		}
 		start := time.Now()
 		simStart := machine.SimulatedCycles()
 		runErr := h.RunOne(e)
 		wall := time.Since(start)
 		simCycles := machine.SimulatedCycles() - simStart
 		errMsg := ""
-		if runErr != nil {
+		var inc *fleet.Incomplete
+		switch {
+		case errors.As(runErr, &inc):
+			drained = true
+			errMsg = runErr.Error()
+			fmt.Fprintf(os.Stderr, "%s: drained with %d/%d runs done\n", e.Name, inc.Done, inc.Total)
+		case runErr != nil:
 			errMsg = runErr.Error()
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, runErr)
 			if firstErr == nil {
 				firstErr = runErr
 			}
-		} else {
+		default:
 			fmt.Printf("[%s finished in %v]\n", e.Name, wall.Round(time.Millisecond))
 		}
 		if man != nil {
 			man.AddExperiment(e.Name, wall, simCycles, errMsg)
 		}
-		if runErr != nil {
+		if runErr != nil && !drained {
 			break
 		}
 	}
@@ -218,16 +295,44 @@ func main() {
 	if *memProf != "" {
 		flush("heap profile", profile.WriteHeap(*memProf))
 	}
+	flush("journal", jw.Close())
 	if man != nil {
+		man.Incomplete = drained
 		man.Finish()
 		flush("manifest", man.WriteFile(*manifestP))
 		if _, err := os.Stat(*manifestP); err == nil {
 			fmt.Printf("run manifest written to %s\n", *manifestP)
 		}
 	}
+	if drained {
+		dir := *resumeDir
+		if dir == "" {
+			dir = *journalDir
+		}
+		if dir != "" {
+			fmt.Fprintf(os.Stderr, "experiments: run incomplete; resume with: experiments -resume %s %s\n",
+				dir, flagsAndArgs())
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: run incomplete; re-run with -journal to make drains resumable")
+		}
+		os.Exit(1)
+	}
 	if firstErr != nil {
 		os.Exit(1)
 	}
+}
+
+// flagsAndArgs reprints the experiment names so the resume hint is a
+// runnable command.
+func flagsAndArgs() string {
+	out := ""
+	for i, a := range flag.Args() {
+		if i > 0 {
+			out += " "
+		}
+		out += a
+	}
+	return out
 }
 
 // harnessConfigFingerprint is the hashable identity of a harness run:

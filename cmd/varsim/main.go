@@ -13,24 +13,38 @@
 //	varsim -workload barnes -runs 2 -perfetto trace.json
 //	varsim -workload oltp -txns 500 -interval-us 50 -http 127.0.0.1:8080
 //	varsim -workload oltp -runs 20 -txns 200 -j 4
+//	varsim -workload oltp -runs 20 -txns 200 -journal out/ -retries 2
+//	varsim -resume out/
 //
 // The -j flag sets the worker-fleet width for the perturbed runs
 // (default: one worker per host CPU). Output is byte-identical for
 // every -j value: runs merge by index, never completion order (see
 // docs/PARALLELISM.md). -j 1 forces the sequential path.
+//
+// -journal writes a crash-safe result journal (plus the experiment
+// spec) into a directory as runs complete; after a crash or a SIGINT
+// drain, -resume replays the journaled runs and executes only the
+// missing ones, producing byte-identical output to an uninterrupted
+// run (docs/RESILIENCE.md).
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
-	"text/tabwriter"
+	"syscall"
 	"time"
 
 	"varsim"
+	"varsim/internal/fleet"
+	"varsim/internal/journal"
 	"varsim/internal/metrics"
 	"varsim/internal/obs"
 	"varsim/internal/plot"
@@ -38,6 +52,10 @@ import (
 	"varsim/internal/report"
 	"varsim/internal/traceviz"
 )
+
+// specFile is the experiment definition saved next to the journal so
+// -resume can rebuild the run without repeating the original flags.
+const specFile = "spec.json"
 
 // runCfg carries the non-experiment knobs into run().
 type runCfg struct {
@@ -81,6 +99,11 @@ func main() {
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
 		traceProf   = flag.String("trace", "", "write a runtime execution trace to this file")
+
+		journalDir = flag.String("journal", "", "write a crash-safe result journal and the experiment spec into this directory")
+		resumeDir  = flag.String("resume", "", "resume a journaled run from this directory (replays completed runs, executes the rest)")
+		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock timeout per run attempt (0 = unbounded); timed-out attempts are retried within -retries")
+		retries    = flag.Int("retries", 0, "extra attempts for a failed run (the retry reuses the run's original derived seed)")
 	)
 	flag.Parse()
 
@@ -139,11 +162,58 @@ func main() {
 		Workers:      *workers,
 	}
 
+	// Crash-safety plumbing: -resume rebuilds the experiment from the
+	// saved spec and replays the journal; -journal starts a fresh one.
+	// Either way the journal stays open for appends and the run drains
+	// gracefully on SIGINT/SIGTERM.
+	var jw *journal.Writer
+	var jc *journal.Cache
+	switch {
+	case *resumeDir != "":
+		spec, err := loadSpec(filepath.Join(*resumeDir, specFile))
+		fail(err)
+		spec.Workers = *workers // width never changes the bytes; the spec pins everything that does
+		e = spec
+		jc, jw, err = journal.OpenDir(*resumeDir, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		fail(err)
+	case *journalDir != "":
+		fail(os.MkdirAll(*journalDir, 0o777))
+		fail(saveSpec(filepath.Join(*journalDir, specFile), e))
+		var err error
+		jw, err = journal.CreateDir(*journalDir)
+		fail(err)
+	}
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "varsim: draining in-flight runs; signal again to abort immediately")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+	e.Resilience = varsim.Resilience{
+		Journal:    jw,
+		Cache:      jc,
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
+		Stop:       stop,
+	}
+
 	// Run, then flush profiles and the manifest even on failure — a
 	// partial run's provenance is still worth keeping.
 	runStart := time.Now()
 	simStart := varsim.SimulatedCycles()
 	runErr := run(e, rc)
+
+	// Journal teardown: Close reports the first sticky append failure —
+	// a journal that silently lost records must not look resumable.
+	if cerr := jw.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
 
 	if err := stopProf(); err != nil && runErr == nil {
 		runErr = err
@@ -153,11 +223,14 @@ func main() {
 			runErr = err
 		}
 	}
+	var inc *fleet.Incomplete
+	drained := errors.As(runErr, &inc)
 	if man != nil {
 		errMsg := ""
-		if runErr != nil {
+		if runErr != nil && !drained {
 			errMsg = runErr.Error()
 		}
+		man.Incomplete = drained
 		man.AddExperiment(e.Label, time.Since(runStart), varsim.SimulatedCycles()-simStart, errMsg)
 		man.Finish()
 		if err := man.WriteFile(*manifestP); err != nil && runErr == nil {
@@ -166,7 +239,45 @@ func main() {
 			fmt.Printf("run manifest written to %s\n", *manifestP)
 		}
 	}
+	if drained {
+		dir := *resumeDir
+		if dir == "" {
+			dir = *journalDir
+		}
+		if dir != "" {
+			fmt.Fprintf(os.Stderr, "varsim: run incomplete (%d/%d runs); resume with: varsim -resume %s\n",
+				inc.Done, inc.Total, dir)
+		} else {
+			fmt.Fprintf(os.Stderr, "varsim: run incomplete (%d/%d runs); re-run with -journal to make drains resumable\n",
+				inc.Done, inc.Total)
+		}
+		os.Exit(1)
+	}
 	fail(runErr)
+}
+
+// saveSpec writes the experiment definition as indented JSON; the
+// Resilience field is excluded by its json:"-" tag, so the spec is a
+// pure description of what to simulate.
+func saveSpec(path string, e varsim.Experiment) error {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// loadSpec reads an experiment definition saved by saveSpec.
+func loadSpec(path string) (varsim.Experiment, error) {
+	var e varsim.Experiment
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return e, fmt.Errorf("resume: %w (was this directory written by -journal?)", err)
+	}
+	if err := json.Unmarshal(b, &e); err != nil {
+		return e, fmt.Errorf("resume: bad spec %s: %w", path, err)
+	}
+	return e, nil
 }
 
 // run executes the selected mode and returns instead of exiting, so
@@ -197,6 +308,16 @@ func run(e varsim.Experiment, rc runCfg) error {
 		}
 		printResult(res)
 		return nil
+	}
+
+	// A resume whose journal already covers every run replays the whole
+	// space without preparing the machine — the warmup itself is
+	// skipped, so resuming a finished run is nearly free.
+	if rc.fromRcp == "" && rc.saveRcp == "" && rc.pub == nil && rc.intervalUS <= 0 && rc.perfetto == "" {
+		if sp, ok := e.CachedSpace(); ok {
+			report.WriteSpace(os.Stdout, sp)
+			return nil
+		}
 	}
 
 	var base *varsim.Machine
@@ -282,23 +403,20 @@ func run(e varsim.Experiment, rc runCfg) error {
 			len(runs), rc.perfetto)
 	} else {
 		var err error
-		sp, err = varsim.BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers)
+		sp, err = varsim.BranchSpaceRes(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers, e.Resilience)
+		var inc *fleet.Incomplete
+		if errors.As(err, &inc) {
+			// A graceful drain: render the partial space (marked
+			// INCOMPLETE) and hand the drain marker back to main for
+			// the resume hint and exit status.
+			report.WriteSpace(os.Stdout, sp)
+			return err
+		}
 		if err != nil {
 			return err
 		}
 	}
-	for i, r := range sp.Results {
-		fmt.Printf("run %2d: ", i)
-		printResult(r)
-	}
-	if len(sp.Values) > 1 {
-		s := varsim.Summarize(sp.Values)
-		fmt.Printf("\nspace of %d runs: mean CPT %.1f  sigma %.1f  min %.1f  max %.1f  CoV %.2f%%  range %.2f%%\n",
-			s.N, s.Mean, s.StdDev, s.Min, s.Max, s.CoV, s.RangePct)
-		if ci, err := varsim.CI(sp.Values, 0.95); err == nil {
-			fmt.Printf("95%% confidence interval for the mean: [%.1f, %.1f]\n", ci.Lo, ci.Hi)
-		}
-	}
+	report.WriteSpace(os.Stdout, sp)
 	return nil
 }
 
@@ -333,12 +451,7 @@ func writeSeries(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
-func printResult(r varsim.Result) {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "%s\t%d txns\t%.1f cycles/txn\t%d instrs\tL2 misses %d\tc2c %d\tctx %d\tlock waits %d\n",
-		r.Workload, r.Txns, r.CPT, r.Instrs, r.L2Misses, r.CacheToCache, r.CtxSwitches, r.LockContentions)
-	w.Flush()
-}
+func printResult(r varsim.Result) { report.WriteResult(os.Stdout, r) }
 
 func fail(err error) {
 	if err != nil {

@@ -11,12 +11,15 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"varsim/internal/config"
 	"varsim/internal/fleet"
+	"varsim/internal/journal"
 	"varsim/internal/machine"
 	"varsim/internal/rng"
 	"varsim/internal/stats"
@@ -30,7 +33,15 @@ type Space struct {
 	Label   string
 	Values  []float64
 	Results []machine.Result
+	// Missing lists run indices a graceful drain left unexecuted
+	// (ascending); empty for a complete space. Values and Results hold
+	// only the runs that did execute — a drained space is a shorter
+	// sample, not one padded with zeros.
+	Missing []int
 }
+
+// Incomplete reports whether the space was cut short by a drain.
+func (s Space) Incomplete() bool { return len(s.Missing) > 0 }
 
 // Summary returns descriptive statistics of the space.
 func (s Space) Summary() stats.Summary { return stats.Summarize(s.Values) }
@@ -142,6 +153,42 @@ type Experiment struct {
 	// one worker per host CPU (fleet.DefaultWorkers). Any value yields
 	// byte-identical results — see docs/PARALLELISM.md.
 	Workers int
+	// Resilience carries the crash-safety plumbing (journal, resume
+	// cache, retry/timeout budget, drain signal); the zero value means
+	// plain in-memory execution. Excluded from JSON so experiment spec
+	// files (cmd/varsim -journal) serialize cleanly.
+	Resilience Resilience `json:"-"`
+}
+
+// Resilience bundles the optional crash-safety plumbing an experiment
+// threads into its run fleet — see docs/RESILIENCE.md. All fields are
+// optional; the zero value is plain, journal-free execution.
+type Resilience struct {
+	// Journal, when non-nil, receives one durable record per settled
+	// run (success or terminal failure) as the fleet completes it.
+	Journal *journal.Writer
+	// Cache, when non-nil, is the replayed journal of a previous
+	// attempt: runs whose (experiment, config hash, seed, index) key
+	// has an ok record are merged from the cache instead of re-run.
+	Cache *journal.Cache
+	// JobTimeout bounds each run attempt by wall clock; 0 = unbounded.
+	JobTimeout time.Duration
+	// Retries is the number of extra attempts after a failed run.
+	Retries int
+	// Stop, when non-nil, drains the fleet once closed: in-flight runs
+	// finish and are journaled, unstarted runs are reported in
+	// Space.Missing.
+	Stop <-chan struct{}
+	// TestHook injects scripted faults (internal/faultinject); tests
+	// only, nil on every production path.
+	TestHook fleet.TestHook
+}
+
+// enabled reports whether any resilience feature is active, so the
+// plain path stays exactly the historical BranchSpace.
+func (r Resilience) enabled() bool {
+	return r.Journal != nil || r.Cache != nil || r.JobTimeout > 0 ||
+		r.Retries > 0 || r.Stop != nil || r.TestHook != nil
 }
 
 // Validate checks the experiment definition.
@@ -185,12 +232,61 @@ func (e Experiment) Prepare() (*machine.Machine, error) {
 // branches Runs perturbed futures — exactly the paper's multiple-runs
 // methodology (§3.3, §5.1). The branches execute on e.Workers fleet
 // workers.
+//
+// When a resume cache covers every run, the whole space is replayed
+// from the journal without preparing the machine — the warmup itself
+// is skipped, which is what makes resuming a finished experiment
+// nearly free.
 func (e Experiment) RunSpace() (Space, error) {
+	if sp, ok := e.CachedSpace(); ok {
+		return sp, nil
+	}
 	base, err := e.Prepare()
 	if err != nil {
 		return Space{}, err
 	}
-	return BranchSpace(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers)
+	return BranchSpaceRes(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers, e.Resilience)
+}
+
+// branchKey is the journal identity of run i of a space: the
+// experiment label, the hash of the machine configuration, the run's
+// derived perturbation seed, and its index. Replay matches on the full
+// key, so a journal from a different config, seed base, or label never
+// contaminates a resume.
+func branchKey(label, cfgHash string, seedBase uint64, i int) journal.Key {
+	return journal.Key{
+		Experiment: label,
+		ConfigHash: cfgHash,
+		Seed:       rng.Derive(seedBase, 1+uint64(i)),
+		Index:      i,
+	}
+}
+
+// CachedSpace replays the full space from the resume cache when every
+// run has an ok journal record. Returns false on any miss or
+// undecodable record — the caller then takes the normal prepare-and-run
+// path, where per-run cache hits still apply.
+func (e Experiment) CachedSpace() (Space, bool) {
+	if e.Resilience.Cache == nil || e.Runs <= 0 || e.Validate() != nil {
+		return Space{}, false
+	}
+	cfgHash := journal.ConfigHash(e.Config)
+	sp := Space{
+		Label:   e.Label,
+		Values:  make([]float64, e.Runs),
+		Results: make([]machine.Result, e.Runs),
+	}
+	for i := 0; i < e.Runs; i++ {
+		rec, ok := e.Resilience.Cache.Get(branchKey(e.Label, cfgHash, e.SeedBase, i))
+		if !ok {
+			return Space{}, false
+		}
+		if err := json.Unmarshal(rec.Result, &sp.Results[i]); err != nil {
+			return Space{}, false
+		}
+		sp.Values[i] = sp.Results[i].CPT
+	}
+	return sp, true
 }
 
 // BranchSpace branches n perturbed measurement runs of measureTxns
@@ -204,16 +300,87 @@ func (e Experiment) RunSpace() (Space, error) {
 // the checkpoint, which stays quiescent for the duration, so the clones
 // may be taken concurrently inside the jobs.
 func BranchSpace(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, workers int) (Space, error) {
+	return BranchSpaceRes(checkpoint, label, n, measureTxns, seedBase, workers, Resilience{})
+}
+
+// BranchSpaceRes is BranchSpace with the crash-safety plumbing wired
+// in: journal appends as runs settle, resume-cache replay, per-run
+// timeout and retry, and graceful drain. Because retry re-invokes the
+// same job closure, a retried run re-derives its original seed — the
+// retry/seed contract of docs/RESILIENCE.md.
+//
+// A drain returns the partial space (Values/Results hold the runs that
+// finished, Missing the indices that never ran) together with the
+// *fleet.Incomplete error, so resilience-aware callers can render a
+// resumable partial report while everyone else fails loudly.
+func BranchSpaceRes(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, workers int, res Resilience) (Space, error) {
 	sp := Space{Label: label}
 	if n <= 0 {
 		return sp, nil
 	}
-	results, err := fleet.Map(fleet.Width(workers), n, func(i int) (machine.Result, error) {
+	opts := fleet.Options[machine.Result]{
+		Workers:  fleet.Width(workers),
+		Timeout:  res.JobTimeout,
+		Retries:  res.Retries,
+		Stop:     res.Stop,
+		TestHook: res.TestHook,
+	}
+	cfgHash := journal.ConfigHash(checkpoint.Config())
+	if res.Cache != nil {
+		opts.Cached = func(i int) (machine.Result, bool) {
+			rec, ok := res.Cache.Get(branchKey(label, cfgHash, seedBase, i))
+			if !ok {
+				return machine.Result{}, false
+			}
+			var r machine.Result
+			if err := json.Unmarshal(rec.Result, &r); err != nil {
+				return machine.Result{}, false // undecodable hit: re-run
+			}
+			return r, true
+		}
+	}
+	if res.Journal != nil {
+		opts.OnResult = func(i, attempts int, v machine.Result, err error) {
+			rec := journal.Record{
+				Key:      branchKey(label, cfgHash, seedBase, i),
+				Attempts: attempts,
+			}
+			if err != nil {
+				rec.Status = journal.StatusFailed
+				rec.Error = err.Error()
+			} else if raw, merr := json.Marshal(v); merr != nil {
+				rec.Status = journal.StatusFailed
+				rec.Error = "core: unencodable result: " + merr.Error()
+			} else {
+				rec.Status = journal.StatusOK
+				rec.Result = raw
+			}
+			// Append errors are sticky on the writer; the CLIs check
+			// Writer.Err() at teardown rather than failing runs here.
+			res.Journal.Append(rec)
+		}
+	}
+	results, err := fleet.Run(opts, n, func(i int) (machine.Result, error) {
 		m := checkpoint.Snapshot()
 		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
 		return m.Run(measureTxns)
 	})
 	if err != nil {
+		var inc *fleet.Incomplete
+		if errors.As(err, &inc) {
+			miss := make(map[int]bool, len(inc.Missing))
+			for _, i := range inc.Missing {
+				miss[i] = true
+			}
+			for i, r := range results {
+				if !miss[i] {
+					sp.Values = append(sp.Values, r.CPT)
+					sp.Results = append(sp.Results, r)
+				}
+			}
+			sp.Missing = inc.Missing
+			return sp, err
+		}
 		return Space{}, runError(err)
 	}
 	sp.Results = results
@@ -268,7 +435,7 @@ func (e Experiment) TimeSample(checkpoints []int64) ([]Space, error) {
 			}
 			done = ck
 		}
-		sp, err := BranchSpace(m, fmt.Sprintf("%s@%d", e.Label, ck), e.Runs, e.MeasureTxns, rng.Derive(e.SeedBase, 0x100+uint64(ci)), e.Workers)
+		sp, err := BranchSpaceRes(m, fmt.Sprintf("%s@%d", e.Label, ck), e.Runs, e.MeasureTxns, rng.Derive(e.SeedBase, 0x100+uint64(ci)), e.Workers, e.Resilience)
 		if err != nil {
 			return nil, err
 		}

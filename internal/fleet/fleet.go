@@ -17,13 +17,21 @@
 // per-configuration space builds) may import and call this package:
 // the call site contains no forbidden construct, and the scheduler
 // guarantees the call is observationally sequential.
+//
+// Run layers crash-safety on top of Map's scheduling (see
+// docs/RESILIENCE.md): per-attempt timeouts, bounded retries that
+// re-invoke the *same* job closure (so a retried job re-derives its
+// original seed — never a fresh one), journal replay through Cached,
+// completion hooks through OnResult, and graceful drain through Stop.
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWorkers is the fleet width used when a caller passes
@@ -58,20 +66,63 @@ func (e *JobError) Error() string { return fmt.Sprintf("fleet: job %d: %v", e.In
 // Unwrap exposes the underlying job failure to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
 
+// ErrTimeout marks a job attempt that exceeded Options.Timeout. It is
+// retryable: the next attempt reruns the same closure with the same
+// derived seed.
+var ErrTimeout = errors.New("fleet: job attempt timed out")
+
+// ErrStopped marks a job that never ran because the drain signal fired
+// before it was handed out.
+var ErrStopped = errors.New("fleet: stopped before the job ran")
+
+// Incomplete reports a graceful drain: Stop fired, every in-flight job
+// finished (and was journaled through OnResult), and the listed
+// indices never ran. It is distinct from a job failure — callers use
+// errors.As to render a partial, resumable result instead of an error.
+type Incomplete struct {
+	Done    int   // jobs that completed (including cache replays)
+	Total   int   // jobs requested
+	Missing []int // indices never run, ascending
+}
+
+func (e *Incomplete) Error() string {
+	return fmt.Sprintf("fleet: incomplete: drained with %d/%d jobs done", e.Done, e.Total)
+}
+
+// TestHook is the fault-injection seam (internal/faultinject): tests
+// install one through Options to script panics, hangs and transient
+// failures into specific job attempts. Production callers leave it
+// nil; no non-test code path constructs a TestHook.
+type TestHook interface {
+	// BeforeAttempt runs at the start of each attempt of each job. A
+	// non-nil return fails the attempt (retryable); the hook may also
+	// panic or block to simulate crashes and hangs.
+	BeforeAttempt(index, attempt int) error
+	// AfterJob runs once per executed job after its final attempt
+	// settles (never for cache replays).
+	AfterJob(index int)
+}
+
 // Stats is a point-in-time view of process-wide fleet activity, the
 // occupancy counterpart of machine.SimulatedCycles: live observers (the
 // obs /status fleet view, the stderr heartbeat) read it to show how
 // busy the worker pool is and how far through the run matrix it is.
+// Retries and Timeouts count recovery activity (docs/RESILIENCE.md):
+// attempts rerun after a failure, and attempts cut off by a timeout.
 type Stats struct {
 	BusyWorkers int64 `json:"busy_workers"`
 	JobsDone    int64 `json:"jobs_done"`
 	JobsTotal   int64 `json:"jobs_total"`
+	Retries     int64 `json:"retries,omitempty"`
+	Timeouts    int64 `json:"timeouts,omitempty"`
 }
 
 var (
 	busyWorkers atomic.Int64
 	jobsDone    atomic.Int64
 	jobsTotal   atomic.Int64
+	retryCount  atomic.Int64
+	timeoutHits atomic.Int64
 )
 
 // Read returns the process-wide fleet occupancy counters.
@@ -80,6 +131,60 @@ func Read() Stats {
 		BusyWorkers: busyWorkers.Load(),
 		JobsDone:    jobsDone.Load(),
 		JobsTotal:   jobsTotal.Load(),
+		Retries:     retryCount.Load(),
+		Timeouts:    timeoutHits.Load(),
+	}
+}
+
+// Options configures a Run call. The zero value reproduces Map's
+// behaviour exactly: default width, no timeout, no retries, no cache,
+// no hooks, no drain.
+type Options[T any] struct {
+	// Workers is the pool width: <= 0 selects DefaultWorkers, 1 the
+	// sequential path. (Callers holding the experiment-facing
+	// convention pass Width(workers).)
+	Workers int
+	// Timeout bounds each job *attempt* by wall clock; 0 means
+	// unbounded. A timed-out attempt counts as a retryable failure.
+	// The attempt's goroutine is abandoned, not killed — its result is
+	// discarded if it ever finishes — so timeouts trade goroutine
+	// leakage for fleet liveness. Timeouts never affect results that
+	// complete: byte-identity holds across any timeout setting under
+	// which the run finishes.
+	Timeout time.Duration
+	// Retries is the number of *extra* attempts after a failed one
+	// (0 = fail on first error). Every attempt calls the same job
+	// closure with the same index, so a retried simulation re-derives
+	// its original perturbation seed — the retry/seed contract that
+	// keeps retried runs byte-identical to first-try successes.
+	Retries int
+	// Cached, when non-nil, is consulted before running a job: a hit
+	// (a journal replay on resume) is merged at the job's index
+	// without running it, without OnResult, and without TestHook.
+	Cached func(i int) (T, bool)
+	// OnResult, when non-nil, observes every executed job's final
+	// settlement — result or terminal error, with the attempt count —
+	// from the worker goroutine that ran it. This is where the result
+	// journal appends; implementations must be safe for concurrent
+	// calls (journal.Writer serializes internally).
+	OnResult func(i, attempts int, v T, err error)
+	// Stop, when non-nil, is the graceful-drain signal: once it is
+	// closed, no new jobs (and no further retries) are handed out,
+	// in-flight attempts run to completion and are journaled, and Run
+	// returns *Incomplete listing the indices that never ran.
+	Stop <-chan struct{}
+	// TestHook scripts faults into attempts; tests only.
+	TestHook TestHook
+}
+
+// stopped reports whether the drain signal has fired. A nil Stop
+// channel never fires (the nil case blocks; default wins).
+func (o *Options[T]) stopped() bool {
+	select {
+	case <-o.Stop:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -100,9 +205,19 @@ func Read() Stats {
 // clone and a derived seed) with no writes to anything shared. Under
 // that contract Map's result is byte-identical for every worker count.
 func Map[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
+	return Run(Options[T]{Workers: workers}, n, job)
+}
+
+// Run is Map with resilience: the same index-ordered merge and
+// run-every-job scheduling, plus the timeout/retry/cache/journal/drain
+// behaviour documented on Options. The returned error is, in priority
+// order: the lowest-index job failure (a *JobError), else *Incomplete
+// when a drain left jobs unrun, else nil.
+func Run[T any](opts Options[T], n int, job func(int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -111,25 +226,35 @@ func Map[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
+	ran := make([]bool, n)
 	jobsTotal.Add(int64(n))
 	runOne := func(i int) {
-		busyWorkers.Add(1)
-		defer func() {
-			if r := recover(); r != nil {
-				errs[i] = &JobError{Index: i, Err: fmt.Errorf("panic: %v", r)}
+		ran[i] = true
+		if opts.Cached != nil {
+			if v, ok := opts.Cached(i); ok {
+				results[i] = v
+				jobsDone.Add(1)
+				return
 			}
-			busyWorkers.Add(-1)
-			jobsDone.Add(1)
-		}()
-		v, err := job(i)
+		}
+		busyWorkers.Add(1)
+		v, attempts, err := runAttempts(&opts, i, job)
+		busyWorkers.Add(-1)
+		if opts.TestHook != nil {
+			opts.TestHook.AfterJob(i)
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(i, attempts, v, err)
+		}
 		if err != nil {
 			errs[i] = &JobError{Index: i, Err: err}
-			return
+		} else {
+			results[i] = v
 		}
-		results[i] = v
+		jobsDone.Add(1)
 	}
 	if workers == 1 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && !opts.stopped(); i++ {
 			runOne(i)
 		}
 	} else {
@@ -139,7 +264,7 @@ func Map[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for !opts.stopped() {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -155,5 +280,72 @@ func Map[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
 			return results, errs[i]
 		}
 	}
+	var missing []int
+	for i := range ran {
+		if !ran[i] {
+			missing = append(missing, i)
+		}
+	}
+	if missing != nil {
+		return results, &Incomplete{Done: n - len(missing), Total: n, Missing: missing}
+	}
 	return results, nil
+}
+
+// runAttempts drives one job through its attempt loop: panic capture,
+// optional wall-clock timeout, and bounded retry. It returns the
+// result of the first successful attempt, or the last attempt's error
+// once retries are exhausted (or the drain signal fires between
+// attempts).
+func runAttempts[T any](opts *Options[T], i int, job func(int) (T, error)) (v T, attempts int, err error) {
+	for {
+		attempts++
+		v, err = oneAttempt(opts, i, attempts-1, job)
+		if err == nil || attempts > opts.Retries || opts.stopped() {
+			return v, attempts, err
+		}
+		retryCount.Add(1)
+	}
+}
+
+// oneAttempt executes a single attempt with panic capture and, when a
+// timeout is configured, a wall-clock bound enforced from a watcher
+// goroutine. The buffered channel lets an abandoned attempt's
+// goroutine exit normally when it eventually finishes.
+func oneAttempt[T any](opts *Options[T], i, attempt int, job func(int) (T, error)) (T, error) {
+	run := func() (v T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		if opts.TestHook != nil {
+			if herr := opts.TestHook.BeforeAttempt(i, attempt); herr != nil {
+				return v, herr
+			}
+		}
+		return job(i)
+	}
+	if opts.Timeout <= 0 {
+		return run()
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := run()
+		ch <- outcome{v, err}
+	}()
+	t := time.NewTimer(opts.Timeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-t.C:
+		timeoutHits.Add(1)
+		var zero T
+		return zero, fmt.Errorf("%w after %v (attempt %d)", ErrTimeout, opts.Timeout, attempt+1)
+	}
 }

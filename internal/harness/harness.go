@@ -44,6 +44,11 @@ type Options struct {
 	// /status, the stderr heartbeat — feed from this single callback so
 	// progress has one source of truth.
 	OnProgress func(Progress)
+	// Resilience threads the crash-safety plumbing (journal, resume
+	// cache, retry/timeout budget, drain signal) into every experiment
+	// the harness builds and into its per-configuration fleets. Zero
+	// value = plain execution. See docs/RESILIENCE.md.
+	Resilience core.Resilience
 }
 
 // Progress is one experiment lifecycle notification.
@@ -210,6 +215,7 @@ func (h *H) experiment(label string, cfg config.Config, wl string, warmup, measu
 		Runs:         h.runs(),
 		SeedBase:     rng.Derive(h.opt.Seed, salt),
 		Workers:      h.opt.Workers,
+		Resilience:   h.opt.Resilience,
 	}
 }
 
@@ -220,7 +226,10 @@ func (h *H) experiment(label string, cfg config.Config, wl string, warmup, measu
 // the index-ordered merge keeps the cache contents identical to the
 // sequential build for any worker count.
 func (h *H) spaceFleet(vals []int, cache map[int]core.Space, build func(v int) core.Experiment) error {
-	spaces, err := fleet.Map(fleet.Width(h.opt.Workers), len(vals), func(i int) (core.Space, error) {
+	spaces, err := fleet.Run(fleet.Options[core.Space]{
+		Workers: fleet.Width(h.opt.Workers),
+		Stop:    h.opt.Resilience.Stop,
+	}, len(vals), func(i int) (core.Space, error) {
 		return build(vals[i]).RunSpace()
 	})
 	if err != nil {

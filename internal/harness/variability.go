@@ -333,10 +333,13 @@ func (h *H) Table4RunLengths() error {
 	// checkpoint; Snapshot is read-only on its receiver, so the five
 	// lengths fan out on the fleet concurrently.
 	lengths := []int64{200, 400, 600, 800, 1000}
-	spaces, err := fleet.Map(fleet.Width(h.opt.Workers), len(lengths), func(i int) (core.Space, error) {
+	spaces, err := fleet.Run(fleet.Options[core.Space]{
+		Workers: fleet.Width(h.opt.Workers),
+		Stop:    h.opt.Resilience.Stop,
+	}, len(lengths), func(i int) (core.Space, error) {
 		txns := lengths[i]
-		return core.BranchSpace(base, fmt.Sprintf("%d", txns), h.runs(), h.scaleTxns(txns),
-			rng.Derive(h.opt.Seed, 0x440+uint64(txns)), h.opt.Workers)
+		return core.BranchSpaceRes(base, fmt.Sprintf("%d", txns), h.runs(), h.scaleTxns(txns),
+			rng.Derive(h.opt.Seed, 0x440+uint64(txns)), h.opt.Workers, h.opt.Resilience)
 	})
 	if err != nil {
 		return err

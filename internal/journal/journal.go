@@ -1,0 +1,439 @@
+// Package journal is the crash-safe result journal behind resumable
+// experiments (docs/RESILIENCE.md): an append-only JSONL file, fsync'd
+// record by record, that the fleet writes as each simulation job
+// completes. After a panic, OOM kill or SIGKILL, a resumed run loads
+// the journal, replays every completed job as a cache hit, and re-runs
+// only the missing or failed ones — producing byte-identical reports
+// to an uninterrupted run, because each journaled result is the JSON
+// round-trip of a pure (config, seed) function.
+//
+// Records are keyed by (experiment label, config hash, derived seed,
+// job index). The seed in the key is the job's *derived* per-run seed,
+// so a key can only hit when the resumed invocation derives exactly
+// the same perturbation stream — any change to the seed schedule, the
+// configuration or the run matrix misses the cache and re-simulates.
+//
+// The journal lives outside the determinism wall: it does file I/O and
+// holds a mutex, and its write order follows job *completion* order,
+// which is host-scheduler timing. That is safe because resume reads by
+// key, never by position.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// FileName is the journal's file name inside a journal directory.
+const FileName = "journal.jsonl"
+
+// Record statuses.
+const (
+	StatusOK     = "ok"     // the job completed; Result holds its JSON
+	StatusFailed = "failed" // the job exhausted its retries; Error set
+)
+
+// Key identifies one journaled job. Two invocations that agree on all
+// four fields computed the same pure function.
+type Key struct {
+	Experiment string `json:"experiment"`  // space label, e.g. "4-way"
+	ConfigHash string `json:"config_hash"` // ConfigHash of the resolved config
+	Seed       uint64 `json:"seed"`        // the job's derived perturbation seed
+	Index      int    `json:"index"`       // job index within the space
+}
+
+// String renders the key for log messages.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s seed %d run %d", k.Experiment, k.ConfigHash, k.Seed, k.Index)
+}
+
+// Record is one journal entry: a key, how the job ended, and either its
+// result (as the raw JSON the producing type marshalled to) or its
+// terminal error.
+type Record struct {
+	Key
+	Status   string          `json:"status"`
+	Attempts int             `json:"attempts,omitempty"` // attempts consumed (1 = first try)
+	Error    string          `json:"error,omitempty"`    // terminal failure, StatusFailed only
+	Result   json.RawMessage `json:"result,omitempty"`   // job result JSON, StatusOK only
+}
+
+// Validate checks the structural invariants the codec enforces.
+func (r Record) Validate() error {
+	switch r.Status {
+	case StatusOK:
+		if len(r.Result) == 0 || !json.Valid(r.Result) {
+			return errors.New("journal: ok record needs a valid JSON result")
+		}
+	case StatusFailed:
+		if r.Error == "" {
+			return errors.New("journal: failed record needs an error message")
+		}
+	default:
+		return fmt.Errorf("journal: unknown record status %q", r.Status)
+	}
+	if r.Experiment == "" {
+		return errors.New("journal: record needs an experiment label")
+	}
+	if r.Index < 0 {
+		return errors.New("journal: negative job index")
+	}
+	if r.Attempts < 0 {
+		return errors.New("journal: negative attempt count")
+	}
+	return nil
+}
+
+// Encode renders a record as one newline-terminated JSONL line.
+func Encode(r Record) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses one journal line (with or without its trailing
+// newline) into a Record, validating the invariants Encode enforces.
+// It never panics, whatever the input.
+func Decode(line []byte) (Record, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	var r Record
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Record{}, fmt.Errorf("journal: decode: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// ---- process-wide stats ---------------------------------------------
+
+// Stats is a point-in-time view of process-wide journal activity, read
+// by /status, /metrics and the heartbeat alongside fleet.Read.
+type Stats struct {
+	// Appended is the number of records durably written (fsync'd).
+	Appended int64 `json:"appended"`
+	// Lag is the number of appends started but not yet durable — how
+	// many completed jobs a crash right now would lose.
+	Lag int64 `json:"lag"`
+	// Hits is the number of cache replays served during resume.
+	Hits int64 `json:"hits"`
+	// Dropped is the number of corrupt records truncated by recovery.
+	Dropped int64 `json:"dropped"`
+}
+
+var (
+	appendsStarted atomic.Int64
+	appendsDurable atomic.Int64
+	cacheHits      atomic.Int64
+	droppedRecs    atomic.Int64
+)
+
+// ReadStats returns the process-wide journal counters.
+func ReadStats() Stats {
+	durable := appendsDurable.Load()
+	return Stats{
+		Appended: durable,
+		Lag:      appendsStarted.Load() - durable,
+		Hits:     cacheHits.Load(),
+		Dropped:  droppedRecs.Load(),
+	}
+}
+
+// ---- writer ---------------------------------------------------------
+
+// Writer appends records to a journal file, fsyncing after every
+// record so a completed job survives any subsequent crash. A nil
+// *Writer is a valid no-op journal, so callers thread it
+// unconditionally. Append errors are sticky: the first one disables
+// the writer and is reported by Err and Close, keeping the hot path
+// free of per-call error plumbing in the fleet.
+type Writer struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	err  error
+}
+
+// Create opens (creating or appending to) the journal file at path and
+// fsyncs its directory entry so the file itself survives a crash.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return &Writer{f: f, path: path}, nil
+}
+
+// CreateDir creates dir (if needed) and opens dir/journal.jsonl.
+func CreateDir(dir string) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return Create(filepath.Join(dir, FileName))
+}
+
+// syncDir best-effort fsyncs a directory so a freshly created journal
+// file's entry is durable; some filesystems reject directory syncs,
+// which is not worth failing the run over.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck
+	d.Close()
+}
+
+// Path returns the journal file path ("" for a nil writer).
+func (w *Writer) Path() string {
+	if w == nil {
+		return ""
+	}
+	return w.path
+}
+
+// Append durably writes one record: encode, write, fsync. Safe for
+// concurrent use from fleet workers and a no-op on a nil receiver or
+// after a previous append failed (see Err).
+func (w *Writer) Append(r Record) error {
+	if w == nil {
+		return nil
+	}
+	line, err := Encode(r)
+	if err != nil {
+		return err
+	}
+	appendsStarted.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil && w.f == nil {
+		w.err = errors.New("journal: append after Close")
+	}
+	if w.err != nil {
+		appendsStarted.Add(-1)
+		return w.err
+	}
+	_, werr := w.f.Write(line)
+	if werr == nil {
+		werr = w.f.Sync()
+	}
+	if werr != nil {
+		w.err = fmt.Errorf("journal: append: %w", werr)
+		appendsStarted.Add(-1)
+		return w.err
+	}
+	appendsDurable.Add(1)
+	return nil
+}
+
+// Err returns the sticky append error, if any.
+func (w *Writer) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close syncs and closes the file, returning the sticky append error
+// if one occurred. Nil-safe.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		cerr := w.f.Close()
+		w.f = nil
+		if w.err == nil && cerr != nil {
+			w.err = fmt.Errorf("journal: close: %w", cerr)
+		}
+	}
+	return w.err
+}
+
+// ---- load and recovery ----------------------------------------------
+
+// LoadResult is what Load found in a journal file: the valid record
+// prefix, and how much trailing corruption (torn writes, garbage) was
+// skipped after it.
+type LoadResult struct {
+	Records        []Record
+	ValidBytes     int64 // offset of the end of the last good record
+	DroppedRecords int   // lines after the first bad one (inclusive)
+	DroppedBytes   int64
+}
+
+// Load reads the journal at path, keeping the longest valid record
+// prefix: it stops at the first record that fails to decode (a torn
+// final write, or mid-file corruption) and reports everything after it
+// as dropped. A missing file is an empty journal, not an error.
+func Load(path string) (LoadResult, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return LoadResult{}, nil
+	}
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	var size int64
+	if info, err := f.Stat(); err == nil {
+		size = info.Size()
+	}
+	res, err := load(f)
+	if errors.Is(err, bufio.ErrTooLong) {
+		// A line past the scanner cap cannot be a record we wrote:
+		// treat it and everything after it as corruption.
+		res.DroppedRecords++
+		res.DroppedBytes = size - res.ValidBytes
+		return res, nil
+	}
+	return res, err
+}
+
+func load(r io.Reader) (LoadResult, error) {
+	var res LoadResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	bad := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		// Scanner strips the newline; account for it when the line is
+		// in the valid prefix. A final line without a newline still
+		// counts as len(line) bytes either way.
+		if bad {
+			res.DroppedRecords++
+			res.DroppedBytes += int64(len(line)) + 1
+			continue
+		}
+		rec, err := Decode(line)
+		if err != nil {
+			bad = true
+			res.DroppedRecords++
+			res.DroppedBytes += int64(len(line)) + 1
+			continue
+		}
+		res.Records = append(res.Records, rec)
+		res.ValidBytes += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("journal: read: %w", err)
+	}
+	return res, nil
+}
+
+// Recover loads the journal at path and, when trailing corruption was
+// found, truncates the file back to the last good record and logs what
+// was dropped through logf (which may be nil). This is the resume
+// path's first step: after it, appends continue from a clean tail.
+func Recover(path string, logf func(format string, args ...any)) (LoadResult, error) {
+	res, err := Load(path)
+	if err != nil {
+		return res, err
+	}
+	if res.DroppedRecords == 0 {
+		return res, nil
+	}
+	droppedRecs.Add(int64(res.DroppedRecords))
+	if logf != nil {
+		logf("journal: dropped %d corrupt record(s) (%d bytes) after offset %d of %s; truncating",
+			res.DroppedRecords, res.DroppedBytes, res.ValidBytes, path)
+	}
+	if err := os.Truncate(path, res.ValidBytes); err != nil {
+		return res, fmt.Errorf("journal: truncate: %w", err)
+	}
+	return res, nil
+}
+
+// ---- resume cache ---------------------------------------------------
+
+// Cache indexes journal records by key for resume. Only StatusOK
+// records replay as hits — failed jobs are re-run. When the journal
+// holds several records for one key (a failure later retried to
+// success on a previous resume), the last one wins.
+type Cache struct {
+	byKey map[Key]Record
+}
+
+// NewCache builds a cache over recs (normally LoadResult.Records).
+func NewCache(recs []Record) *Cache {
+	c := &Cache{byKey: make(map[Key]Record, len(recs))}
+	for _, r := range recs {
+		c.byKey[r.Key] = r
+	}
+	return c
+}
+
+// Get returns the completed record for key, counting a process-wide
+// cache hit. Failed records and unknown keys miss. Nil-safe.
+func (c *Cache) Get(key Key) (Record, bool) {
+	if c == nil {
+		return Record{}, false
+	}
+	r, ok := c.byKey[key]
+	if !ok || r.Status != StatusOK {
+		return Record{}, false
+	}
+	cacheHits.Add(1)
+	return r, true
+}
+
+// Len returns the number of distinct keys cached (including failed
+// records, which Get will not serve).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.byKey)
+}
+
+// OpenDir is the resume entry point: recover the journal in dir
+// (truncating any trailing corruption, logged through logf), build the
+// replay cache, and reopen the journal for appending the re-run jobs.
+func OpenDir(dir string, logf func(format string, args ...any)) (*Cache, *Writer, error) {
+	path := filepath.Join(dir, FileName)
+	res, err := Recover(path, logf)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewCache(res.Records), w, nil
+}
+
+// ---- config hashing -------------------------------------------------
+
+// ConfigHash returns a short stable hash of any JSON-encodable
+// configuration value — the key component that ties a journal record
+// to the exact configuration that produced it. Two runs with equal
+// hashes ran byte-identical configurations.
+func ConfigHash(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "unhashable"
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -14,6 +14,8 @@ func TestDetwall(t *testing.T) {
 		"varsim/internal/fleet/fleetok",
 		"varsim/internal/core/corewall",
 		"varsim/internal/harness/harnesswall",
+		"varsim/internal/journal/journalok",
+		"varsim/internal/faultinject/faultok",
 	)
 }
 
@@ -26,6 +28,8 @@ func TestInsideWall(t *testing.T) {
 		"varsim/internal/obs":          false,
 		"varsim/internal/fleet":        false, // the scheduler lives outside the wall by design
 		"varsim/internal/fleet/sub":    false,
+		"varsim/internal/journal":      false, // durable I/O records results, it never feeds them
+		"varsim/internal/faultinject":  false, // test-only fault hooks race the host on purpose
 		"varsim/internal/memx":         false, // prefix must match a path segment
 		"varsim/internal/lint/detwall": false,
 	} {

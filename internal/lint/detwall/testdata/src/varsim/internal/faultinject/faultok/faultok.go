@@ -1,0 +1,23 @@
+// Package faultok mirrors the real internal/faultinject package: a
+// test-only fault hook that deliberately hangs, panics and races the
+// host scheduler to exercise the fleet's resilience paths. It lives
+// *outside* the determinism wall — faults are injected around the
+// deterministic jobs, never inside them — so detwall must stay silent
+// here. This fixture pins that boundary: if faultinject is ever added
+// to wallPrefixes by accident, this file starts failing.
+package faultok
+
+import "time"
+
+// Hang blocks until released or the deadline passes: wall-clock
+// timers and select, both forbidden inside the wall.
+func Hang(release <-chan struct{}, deadline time.Duration) bool {
+	t := time.NewTimer(deadline)
+	defer t.Stop()
+	select {
+	case <-release:
+		return true
+	case <-t.C:
+		return false
+	}
+}

@@ -1,0 +1,38 @@
+// Package journalok mirrors the real internal/journal package: durable
+// I/O plumbing *outside* the determinism wall. The journal records what
+// the deterministic core produced — fsync timing, wall-clock stamps in
+// log lines and host goroutines never feed back into simulation
+// results, so detwall must stay silent here. This fixture pins that
+// boundary: if journal is ever added to wallPrefixes by accident, this
+// file starts failing.
+package journalok
+
+import (
+	"os"
+	"time"
+)
+
+// Append writes a record line and reports how long the fsync took —
+// wall-clock use that would be flagged inside the wall.
+func Append(f *os.File, line []byte) (time.Duration, error) {
+	start := time.Now()
+	if _, err := f.Write(line); err != nil {
+		return 0, err
+	}
+	err := f.Sync()
+	return time.Since(start), err
+}
+
+// Drain waits for either a flush tick or a stop signal: select over
+// host channels, forbidden inside the wall and routine out here.
+func Drain(stop <-chan struct{}, flush func()) {
+	done := make(chan struct{})
+	go func() {
+		flush()
+		close(done)
+	}()
+	select {
+	case <-stop:
+	case <-done:
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"varsim/internal/fleet"
+	"varsim/internal/journal"
 )
 
 // Experiment states reported by /status.
@@ -23,8 +24,9 @@ const (
 type Fleet struct {
 	mu        sync.Mutex
 	start     time.Time
-	simCycles func() int64       // process-wide counter; nil disables throughput
-	jobs      func() fleet.Stats // worker-pool occupancy; nil disables
+	simCycles func() int64         // process-wide counter; nil disables throughput
+	jobs      func() fleet.Stats   // worker-pool occupancy; nil disables
+	journal   func() journal.Stats // result-journal counters; nil disables
 	simStart  int64
 	order     []string
 	byName    map[string]*fleetEntry
@@ -79,6 +81,19 @@ func (f *Fleet) TrackJobs(fn func() fleet.Stats) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.jobs = fn
+}
+
+// TrackJournal wires a reader of the result-journal counters (normally
+// journal.ReadStats), adding durable-record, append-lag and replay
+// fields to /status, /metrics and the heartbeat line. Safe on a nil
+// receiver.
+func (f *Fleet) TrackJournal(fn func() journal.Stats) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.journal = fn
 }
 
 // Start marks the named experiment running (registering it if
@@ -153,10 +168,21 @@ type FleetStatus struct {
 	SimCyclesPerSec float64  `json:"sim_cycles_per_sec"`
 	// Worker-pool occupancy (zero unless TrackJobs is wired): workers
 	// busy right now and simulation jobs finished/submitted so far.
-	WorkersBusy int64              `json:"workers_busy,omitempty"`
-	JobsDone    int64              `json:"jobs_done,omitempty"`
-	JobsTotal   int64              `json:"jobs_total,omitempty"`
-	Experiments []ExperimentStatus `json:"experiments"`
+	WorkersBusy int64 `json:"workers_busy,omitempty"`
+	JobsDone    int64 `json:"jobs_done,omitempty"`
+	JobsTotal   int64 `json:"jobs_total,omitempty"`
+	// Recovery activity (zero unless TrackJobs is wired): job attempts
+	// rerun after a failure, and attempts cut off by the per-job
+	// timeout. See docs/RESILIENCE.md.
+	Retries  int64 `json:"retries,omitempty"`
+	Timeouts int64 `json:"timeouts,omitempty"`
+	// Result-journal counters (zero unless TrackJournal is wired):
+	// records durably appended, appends started but not yet fsync'd
+	// (the journal lag), and cache replays served on resume.
+	JournalAppended int64              `json:"journal_appended,omitempty"`
+	JournalLag      int64              `json:"journal_lag,omitempty"`
+	JournalReplayed int64              `json:"journal_replayed,omitempty"`
+	Experiments     []ExperimentStatus `json:"experiments"`
 }
 
 // Status snapshots the fleet.
@@ -210,6 +236,14 @@ func (f *Fleet) Status() FleetStatus {
 		st.WorkersBusy = js.BusyWorkers
 		st.JobsDone = js.JobsDone
 		st.JobsTotal = js.JobsTotal
+		st.Retries = js.Retries
+		st.Timeouts = js.Timeouts
+	}
+	if f.journal != nil {
+		j := f.journal()
+		st.JournalAppended = j.Appended
+		st.JournalLag = j.Lag
+		st.JournalReplayed = j.Hits
 	}
 	if st.Done > 0 && st.Done < st.Total {
 		st.ETASecs = st.ElapsedSecs / float64(st.Done) * float64(st.Total-st.Done)
@@ -233,6 +267,21 @@ func (s FleetStatus) Line() string {
 	}
 	if s.JobsTotal > 0 {
 		out += fmt.Sprintf(", fleet %d busy %d/%d jobs", s.WorkersBusy, s.JobsDone, s.JobsTotal)
+		if s.Retries > 0 {
+			out += fmt.Sprintf(", %d retries", s.Retries)
+		}
+		if s.Timeouts > 0 {
+			out += fmt.Sprintf(", %d timeouts", s.Timeouts)
+		}
+	}
+	if s.JournalAppended > 0 || s.JournalReplayed > 0 {
+		out += fmt.Sprintf(", journal %d rec", s.JournalAppended)
+		if s.JournalLag > 0 {
+			out += fmt.Sprintf(" (lag %d)", s.JournalLag)
+		}
+		if s.JournalReplayed > 0 {
+			out += fmt.Sprintf(", %d replayed", s.JournalReplayed)
+		}
 	}
 	if s.ETASecs > 0 {
 		out += fmt.Sprintf(", ETA ~%s", time.Duration(s.ETASecs*float64(time.Second)).Round(time.Second))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"varsim/internal/fleet"
+	"varsim/internal/journal"
 )
 
 // Heartbeat periodically prints run progress to w (normally stderr):
@@ -30,6 +31,7 @@ type Heartbeat struct {
 	simCycles func() int64
 	simStart  int64
 	jobs      func() fleet.Stats
+	journal   func() journal.Stats
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -110,6 +112,11 @@ func (h *Heartbeat) beat() {
 // Advance records n more completed experiments.
 func (h *Heartbeat) Advance(n int) { h.done.Add(int64(n)) }
 
+// TrackJournal wires a reader of the result-journal counters (normally
+// journal.ReadStats), adding durable-record and append-lag fields to
+// the line when a journal is active. Call before the first beat.
+func (h *Heartbeat) TrackJournal(fn func() journal.Stats) { h.journal = fn }
+
 // Line renders the current progress line.
 func (h *Heartbeat) Line() string {
 	done := h.done.Load()
@@ -124,6 +131,23 @@ func (h *Heartbeat) Line() string {
 	if h.jobs != nil {
 		if js := h.jobs(); js.JobsTotal > 0 {
 			s += fmt.Sprintf(", fleet %d busy %d/%d jobs", js.BusyWorkers, js.JobsDone, js.JobsTotal)
+			if js.Retries > 0 {
+				s += fmt.Sprintf(", %d retries", js.Retries)
+			}
+			if js.Timeouts > 0 {
+				s += fmt.Sprintf(", %d timeouts", js.Timeouts)
+			}
+		}
+	}
+	if h.journal != nil {
+		if j := h.journal(); j.Appended > 0 || j.Hits > 0 {
+			s += fmt.Sprintf(", journal %d rec", j.Appended)
+			if j.Lag > 0 {
+				s += fmt.Sprintf(" (lag %d)", j.Lag)
+			}
+			if j.Hits > 0 {
+				s += fmt.Sprintf(", %d replayed", j.Hits)
+			}
 		}
 	}
 	if h.total > 0 && done > 0 && done < int64(h.total) {

@@ -2,13 +2,13 @@ package report
 
 import (
 	"encoding/json"
-	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"varsim/internal/journal"
 )
 
 // Manifest records a run's provenance: what was run, with which
@@ -31,6 +31,10 @@ type Manifest struct {
 	StartTime  string   `json:"start_time"`           // RFC 3339
 	EndTime    string   `json:"end_time,omitempty"`   // RFC 3339, set by Finish
 	WallSecs   float64  `json:"wall_seconds"`         // total wall clock, set by Finish
+	// Incomplete marks a run that drained early (SIGINT/SIGTERM): the
+	// artifacts cover only the journaled subset and the run should be
+	// resumed with -resume. See docs/RESILIENCE.md.
+	Incomplete bool `json:"incomplete,omitempty"`
 
 	// SimCycles is the simulated cycles advanced during the run;
 	// SimCyclesPerSec the resulting throughput (cycles are nanoseconds at
@@ -143,13 +147,7 @@ func (m *Manifest) WriteFile(path string) error {
 
 // ConfigHash returns a short stable hash of any JSON-encodable
 // configuration value, for manifest provenance. Two runs with equal
-// hashes ran byte-identical configurations.
-func ConfigHash(v any) string {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return "unhashable"
-	}
-	h := fnv.New64a()
-	h.Write(b)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// hashes ran byte-identical configurations. It is the same hash the
+// result journal keys records with, so a manifest's config_hash
+// matches the journal entries of the run it describes.
+func ConfigHash(v any) string { return journal.ConfigHash(v) }

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"varsim/internal/core"
+	"varsim/internal/machine"
+	"varsim/internal/stats"
+)
+
+// WriteResult renders one run result in the varsim CLI's single-line
+// format. The format is pinned by golden tests: resume byte-identity
+// (docs/RESILIENCE.md) is stated over exactly these bytes.
+func WriteResult(w io.Writer, r machine.Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\t%d txns\t%.1f cycles/txn\t%d instrs\tL2 misses %d\tc2c %d\tctx %d\tlock waits %d\n",
+		r.Workload, r.Txns, r.CPT, r.Instrs, r.L2Misses, r.CacheToCache, r.CtxSwitches, r.LockContentions)
+	tw.Flush()
+}
+
+// WriteSpace renders a run space: one line per completed run (numbered
+// by original run index, so a drained space shows exactly which runs it
+// holds), an INCOMPLETE banner when a graceful drain left runs
+// unexecuted, and the summary plus 95% confidence interval when at
+// least two runs completed. A complete space renders byte-identically
+// to the historical cmd/varsim output — the contract the kill-and-
+// resume tests assert.
+func WriteSpace(w io.Writer, sp core.Space) {
+	total := len(sp.Results) + len(sp.Missing)
+	miss := make(map[int]bool, len(sp.Missing))
+	for _, i := range sp.Missing {
+		miss[i] = true
+	}
+	ri := 0
+	for i := 0; i < total; i++ {
+		if miss[i] {
+			continue
+		}
+		fmt.Fprintf(w, "run %2d: ", i)
+		WriteResult(w, sp.Results[ri])
+		ri++
+	}
+	if sp.Incomplete() {
+		fmt.Fprintf(w, "\nINCOMPLETE: %d/%d runs completed; missing runs %v\n",
+			len(sp.Results), total, sp.Missing)
+	}
+	if len(sp.Values) > 1 {
+		s := stats.Summarize(sp.Values)
+		fmt.Fprintf(w, "\nspace of %d runs: mean CPT %.1f  sigma %.1f  min %.1f  max %.1f  CoV %.2f%%  range %.2f%%\n",
+			s.N, s.Mean, s.StdDev, s.Min, s.Max, s.CoV, s.RangePct)
+		if ci, err := stats.CI(sp.Values, 0.95); err == nil {
+			fmt.Fprintf(w, "95%% confidence interval for the mean: [%.1f, %.1f]\n", ci.Lo, ci.Hi)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"varsim/internal/core"
+	"varsim/internal/machine"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files under testdata")
+
+// goldenSpaces are hand-built spaces covering every rendering branch:
+// a full space (per-run lines + summary + CI), a drained space (the
+// INCOMPLETE banner with gap-preserving run numbering), a drain so
+// early no summary is possible, and a single run (no summary either).
+// The values are synthetic but shaped like real table1 output so the
+// goldens double as documentation of the format.
+func goldenSpaces() map[string]core.Space {
+	res := func(i int) machine.Result {
+		return machine.Result{
+			Workload:        "oltp/simple",
+			Txns:            200,
+			CPT:             25000 + 137.5*float64(i),
+			Instrs:          1_200_000 + int64(i)*900,
+			L2Misses:        5_000 + uint64(i)*11,
+			CacheToCache:    1_200 + uint64(i)*7,
+			CtxSwitches:     96 + uint64(i),
+			LockContentions: 340 + uint64(i)*3,
+		}
+	}
+	space := func(n int, missing ...int) core.Space {
+		miss := make(map[int]bool, len(missing))
+		for _, i := range missing {
+			miss[i] = true
+		}
+		sp := core.Space{Label: "golden", Missing: missing}
+		for i := 0; i < n; i++ {
+			if miss[i] {
+				continue
+			}
+			r := res(i)
+			sp.Values = append(sp.Values, r.CPT)
+			sp.Results = append(sp.Results, r)
+		}
+		return sp
+	}
+	return map[string]core.Space{
+		"space_complete":     space(6),
+		"space_incomplete":   space(6, 2, 4, 5),
+		"space_drained_to_1": space(4, 1, 2, 3),
+		"space_single":       space(1),
+	}
+}
+
+func TestWriteSpaceGolden(t *testing.T) {
+	for name, sp := range goldenSpaces() {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			WriteSpace(&buf, sp)
+			checkGolden(t, name, buf.Bytes())
+		})
+	}
+}
+
+func TestWriteResultGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WriteResult(&buf, machine.Result{
+		Workload: "oltp/simple", Txns: 200, CPT: 25137.5, Instrs: 1_200_900,
+		L2Misses: 5011, CacheToCache: 1207, CtxSwitches: 97, LockContentions: 343,
+	})
+	checkGolden(t, "result_line", buf.Bytes())
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("rendering drifted from %s\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -35,6 +35,9 @@ func OneWayANOVA(groups [][]float64) (ANOVAResult, error) {
 		if len(g) == 0 {
 			return ANOVAResult{}, ErrInsufficientData
 		}
+		if err := checkFinite(g); err != nil {
+			return ANOVAResult{}, err
+		}
 		total += len(g)
 		for _, x := range g {
 			grand += x
@@ -73,6 +76,13 @@ func OneWayANOVA(groups [][]float64) (ANOVAResult, error) {
 	share := 0.0
 	if ssb+ssw > 0 {
 		share = ssb / (ssb + ssw)
+	}
+	// Finite inputs can still overflow internally (grand mean or a sum
+	// of squares reaching ±Inf yields Inf/Inf or Inf-Inf NaNs); reject
+	// rather than report NaN statistics.
+	if math.IsNaN(f) || math.IsNaN(p) || math.IsNaN(grand) || math.IsNaN(share) ||
+		math.IsNaN(ssb) || math.IsNaN(ssw) {
+		return ANOVAResult{}, ErrNonFinite
 	}
 	return ANOVAResult{
 		F: f, DFBetween: dfb, DFWithin: dfw, P: p,

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes decodes data into float64 observations, 8 bytes per
+// value — the full bit space, so NaNs, infinities, subnormals and
+// extreme magnitudes all reach the code under test.
+func floatsFromBytes(data []byte) []float64 {
+	xs := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		xs = append(xs, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return xs
+}
+
+func bytesFromFloats(xs ...float64) []byte {
+	b := make([]byte, 0, len(xs)*8)
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+// FuzzCI pins CI's input contract: never panic, reject empty and
+// single-sample inputs and any NaN/Inf observation with an error, and
+// when it does accept a sample, return a finite interval.
+func FuzzCI(f *testing.F) {
+	f.Add(bytesFromFloats(100, 101, 99, 102), 0.95)
+	f.Add(bytesFromFloats(1), 0.95)
+	f.Add([]byte{}, 0.95)
+	f.Add(bytesFromFloats(math.NaN(), 1, 2), 0.95)
+	f.Add(bytesFromFloats(math.Inf(1), 1, 2), 0.99)
+	f.Add(bytesFromFloats(math.MaxFloat64, -math.MaxFloat64, math.MaxFloat64), 0.95)
+	f.Add(bytesFromFloats(0, 0, 0), 0.5)
+	f.Add(bytesFromFloats(1, 2), 1.5) // invalid confidence
+
+	f.Fuzz(func(t *testing.T, data []byte, confidence float64) {
+		xs := floatsFromBytes(data)
+		ci, err := CI(xs, confidence) // must never panic
+		hasBad := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				hasBad = true
+			}
+		}
+		if len(xs) < 2 || hasBad {
+			if err == nil {
+				t.Fatalf("CI accepted a degenerate sample (n=%d, non-finite=%v)", len(xs), hasBad)
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		for name, v := range map[string]float64{
+			"Mean": ci.Mean, "Lo": ci.Lo, "Hi": ci.Hi, "HalfWidth": ci.HalfWidth,
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("CI returned nil error but NaN %s for %v", name, xs)
+			}
+		}
+		if ci.Lo > ci.Hi {
+			t.Fatalf("CI returned inverted interval [%g, %g] for %v", ci.Lo, ci.Hi, xs)
+		}
+	})
+}
+
+// FuzzANOVA pins OneWayANOVA's input contract over two fuzzed groups:
+// never panic, reject NaN/Inf observations and degenerate shapes with
+// an error, and return finite statistics (with P in [0,1]) otherwise.
+func FuzzANOVA(f *testing.F) {
+	f.Add(bytesFromFloats(100, 101, 99), bytesFromFloats(105, 104, 106))
+	f.Add(bytesFromFloats(1), bytesFromFloats(1))
+	f.Add([]byte{}, bytesFromFloats(1, 2))
+	f.Add(bytesFromFloats(math.NaN(), 1), bytesFromFloats(2, 3))
+	f.Add(bytesFromFloats(1, 2), bytesFromFloats(math.Inf(-1), 3))
+	f.Add(bytesFromFloats(math.MaxFloat64, math.MaxFloat64), bytesFromFloats(-math.MaxFloat64, -math.MaxFloat64))
+	f.Add(bytesFromFloats(0, 0, 0), bytesFromFloats(0, 0))
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		groups := [][]float64{floatsFromBytes(a), floatsFromBytes(b)}
+		res, err := OneWayANOVA(groups) // must never panic
+		hasBad := false
+		for _, g := range groups {
+			for _, x := range g {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					hasBad = true
+				}
+			}
+		}
+		if hasBad && err == nil {
+			t.Fatalf("ANOVA accepted non-finite observations: %v", groups)
+		}
+		if err != nil {
+			return
+		}
+		for name, v := range map[string]float64{
+			"F": res.F, "P": res.P, "GrandMean": res.GrandMean,
+			"SSBetween": res.SSBetween, "SSWithin": res.SSWithin, "BetweenShare": res.BetweenShare,
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("ANOVA returned nil error but NaN %s for %v", name, groups)
+			}
+		}
+		if res.P < 0 || res.P > 1 {
+			t.Fatalf("ANOVA returned P=%g outside [0,1] for %v", res.P, groups)
+		}
+	})
+}

@@ -5,6 +5,25 @@ import (
 	"math"
 )
 
+// ErrNonFinite reports a NaN or Inf observation in an input sample (or
+// an internal overflow that would surface as one in the result). The
+// decision procedures (CI, ANOVA, t-tests) reject such inputs instead
+// of propagating NaNs into reports — the contract the fuzz targets pin:
+// error, never panic, and a nil error implies finite outputs.
+var ErrNonFinite = errors.New("stats: non-finite observation (NaN or Inf)")
+
+// checkFinite returns ErrNonFinite if any observation is NaN or ±Inf.
+func checkFinite(samples ...[]float64) error {
+	for _, xs := range samples {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return ErrNonFinite
+			}
+		}
+	}
+	return nil
+}
+
 // Mean returns the arithmetic mean; NaN for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -129,6 +148,9 @@ func CI(xs []float64, confidence float64) (ConfidenceInterval, error) {
 	if confidence <= 0 || confidence >= 1 {
 		return ConfidenceInterval{}, errInvalidConfidence
 	}
+	if err := checkFinite(xs); err != nil {
+		return ConfidenceInterval{}, err
+	}
 	m := Mean(xs)
 	s := StdDev(xs)
 	p := 1 - (1-confidence)/2
@@ -139,6 +161,12 @@ func CI(xs []float64, confidence float64) (ConfidenceInterval, error) {
 		t = NormQuantile(p)
 	}
 	hw := t * s / math.Sqrt(float64(n))
+	// Finite inputs can still overflow internally (a sum or variance
+	// reaching ±Inf makes Inf-Inf = NaN below); reject rather than
+	// report a NaN interval.
+	if math.IsNaN(m) || math.IsNaN(hw) || math.IsNaN(m-hw) || math.IsNaN(m+hw) {
+		return ConfidenceInterval{}, ErrNonFinite
+	}
 	return ConfidenceInterval{
 		Mean: m, Lo: m - hw, Hi: m + hw,
 		Confidence: confidence, HalfWidth: hw,

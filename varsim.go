@@ -160,6 +160,20 @@ func BranchSpace(checkpoint *Machine, label string, n int, measureTxns int64, se
 	return core.BranchSpace(checkpoint, label, n, measureTxns, seedBase, workers)
 }
 
+// Resilience bundles the optional crash-safety plumbing — result
+// journal, resume cache, per-run timeout/retry budget, drain signal —
+// threaded through an Experiment or BranchSpaceRes. The zero value is
+// plain execution. See docs/RESILIENCE.md.
+type Resilience = core.Resilience
+
+// BranchSpaceRes is BranchSpace with the crash-safety plumbing wired
+// in: journal appends as runs settle, resume-cache replay, per-run
+// timeout and bounded retry (a retried run re-derives its original
+// seed), and graceful drain into a partial space.
+func BranchSpaceRes(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, workers int, res Resilience) (Space, error) {
+	return core.BranchSpaceRes(checkpoint, label, n, measureTxns, seedBase, workers, res)
+}
+
 // BranchTraces is BranchSpace with structured tracing enabled on every
 // branched run, returning each run's event stream alongside the space.
 // Seeds derive as in BranchSpace, so run i reproduces run i there; feed
