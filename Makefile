@@ -16,7 +16,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-json vet lint race fuzz-smoke check clean
+.PHONY: all build test bench bench-json bench-digest vet lint race fuzz-smoke check clean
 
 all: build
 
@@ -38,6 +38,13 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_parallel.json
 
+# Paired digest-overhead record: identical measurement windows with
+# interval state digests off vs on, five repeats folded to min ns/op
+# to sink host noise, written with the computed digest_overhead_pct
+# (acceptance: under 5%).
+bench-digest:
+	$(GO) run ./cmd/benchjson -bench 'RunDigests' -benchtime 10x -count 5 -out BENCH_digest.json
+
 vet:
 	$(GO) vet ./...
 
@@ -52,6 +59,7 @@ race:
 # for FUZZTIME.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzRecordCodec$$' -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz='^FuzzDigestCodec$$' -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run='^$$' -fuzz='^FuzzCI$$' -fuzztime=$(FUZZTIME) ./internal/stats
 	$(GO) test -run='^$$' -fuzz='^FuzzANOVA$$' -fuzztime=$(FUZZTIME) ./internal/stats
 

@@ -213,3 +213,37 @@ func benchRunWindow(b *testing.B, sample bool) {
 
 func BenchmarkRunMetricsDisabled(b *testing.B) { benchRunWindow(b, false) }
 func BenchmarkRunMetricsSampling(b *testing.B) { benchRunWindow(b, true) }
+
+// benchRunDigests is the same paired-window shape for the divergence
+// observatory: identical runs with and without interval state digests.
+// Comparing the pair bounds the digest overhead (acceptance: within 5%
+// at the 10 µs cadence, denser than the 50 µs varsim-diff default);
+// `make bench-digest` records the ratio to BENCH_digest.json.
+func benchRunDigests(b *testing.B, digests bool) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 8
+	wl, err := NewWorkload("oltp", cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := NewMachine(cfg, wl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := base.Run(100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := base.Snapshot()
+		if digests {
+			m.EnableDigests(10_000)
+		}
+		if _, err := m.Run(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunDigestsDisabled(b *testing.B) { benchRunDigests(b, false) }
+func BenchmarkRunDigestsEnabled(b *testing.B)  { benchRunDigests(b, true) }

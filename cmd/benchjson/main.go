@@ -50,11 +50,17 @@ type Document struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Bench      string   `json:"bench_regex"`
 	BenchTime  string   `json:"benchtime"`
+	Count      int      `json:"count,omitempty"` // repeats folded to min ns/op when > 1
 	Results    []Result `json:"results"`
 	// FleetSpeedup is sequential ns/op divided by parallel ns/op for
 	// the BranchSpace pair, when both ran. The ratio cannot exceed the
 	// host's core count: a 1-CPU host reports ~1.0 by construction.
 	FleetSpeedup float64 `json:"fleet_speedup,omitempty"`
+	// DigestOverheadPct is the interval-state-digest cost as a
+	// percentage over the digest-free baseline, from the RunDigests
+	// pair (acceptance: under 5%). Recorded whenever both ran, even at
+	// 0%, so the artifact states the overhead explicitly.
+	DigestOverheadPct *float64 `json:"digest_overhead_pct,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -66,12 +72,14 @@ var benchLine = regexp.MustCompile(
 func main() {
 	bench := flag.String("bench", "BranchSpace|BenchmarkSnapshot$|RegistrySnapshot", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test (1x = one iteration per benchmark)")
+	count := flag.Int("count", 1, "go test -count; repeated runs are folded to each benchmark's min ns/op")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkg)
+		"-bench", *bench, "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), "-benchmem", *pkg)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -90,6 +98,12 @@ func main() {
 		Bench:      *bench,
 		BenchTime:  *benchtime,
 	}
+	if *count > 1 {
+		doc.Count = *count
+	}
+	// Repeated runs of one benchmark (-count > 1) fold to the min
+	// ns/op: the least-interfered-with run is the best estimate of the
+	// benchmark's true cost on a noisy shared host.
 	byName := map[string]Result{}
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
@@ -105,7 +119,19 @@ func main() {
 			r.BytesPerOp = int64(bpo)
 			r.AllocsRate, _ = strconv.ParseInt(m[5], 10, 64)
 		}
-		doc.Results = append(doc.Results, r)
+		if prev, seen := byName[r.Name]; seen {
+			if prev.NsPerOp <= r.NsPerOp {
+				continue
+			}
+			for i := range doc.Results {
+				if doc.Results[i].Name == r.Name {
+					doc.Results[i] = r
+					break
+				}
+			}
+		} else {
+			doc.Results = append(doc.Results, r)
+		}
 		byName[r.Name] = r
 	}
 	if len(doc.Results) == 0 {
@@ -116,6 +142,12 @@ func main() {
 	par, okP := byName["BenchmarkBranchSpaceParallel"]
 	if okS && okP && par.NsPerOp > 0 {
 		doc.FleetSpeedup = seq.NsPerOp / par.NsPerOp
+	}
+	off, okOff := byName["BenchmarkRunDigestsDisabled"]
+	on, okOn := byName["BenchmarkRunDigestsEnabled"]
+	if okOff && okOn && off.NsPerOp > 0 {
+		pct := (on.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
+		doc.DigestOverheadPct = &pct
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
@@ -131,6 +163,9 @@ func main() {
 	fmt.Printf("wrote %d benchmark results to %s", len(doc.Results), *out)
 	if doc.FleetSpeedup > 0 {
 		fmt.Printf(" (fleet speedup %.2fx on %d CPUs)", doc.FleetSpeedup, doc.NumCPU)
+	}
+	if doc.DigestOverheadPct != nil {
+		fmt.Printf(" (digest overhead %+.2f%%)", *doc.DigestOverheadPct)
 	}
 	fmt.Println()
 }

@@ -15,6 +15,14 @@
 //	varsim -workload oltp -runs 20 -txns 200 -j 4
 //	varsim -workload oltp -runs 20 -txns 200 -journal out/ -retries 2
 //	varsim -resume out/
+//	varsim -workload oltp -runs 10 -txns 200 -digest-us 50 -journal out/
+//	varsim diff -A out/ -run-a 0 -run-b 3
+//
+// -digest-us records a cheap per-component state digest every N
+// simulated microseconds inside each run and prints the cross-run
+// divergence attribution; 'varsim diff' compares two runs' digest
+// streams and locates their first divergent interval (see
+// docs/OBSERVABILITY.md).
 //
 // The -j flag sets the worker-fleet width for the perturbed runs
 // (default: one worker per host CPU). Output is byte-identical for
@@ -71,6 +79,12 @@ type runCfg struct {
 }
 
 func main() {
+	// Verbs come before flags: "varsim diff ..." dispatches to the
+	// digest-diff tool, everything else is the classic flag interface.
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		fail(runDiff(os.Args[2:]))
+		return
+	}
 	var (
 		wlName  = flag.String("workload", "oltp", "workload: "+strings.Join(varsim.Workloads(), ", "))
 		cpus    = flag.Int("cpus", 16, "number of processors")
@@ -91,6 +105,7 @@ func main() {
 		fromRcp = flag.String("from-recipe", "", "start from a checkpoint recipe instead of flags")
 
 		intervalUS  = flag.Int64("interval-us", 0, "sample the metrics registry every N simulated microseconds and print per-interval sparklines")
+		digestUS    = flag.Int64("digest-us", 0, "record an interval state digest every N simulated microseconds in each run and print the divergence attribution (with -journal, digests persist for 'varsim diff')")
 		seriesCSV   = flag.String("series-csv", "", "write the sampled metric time series as CSV to this file")
 		seriesJSONL = flag.String("series-jsonl", "", "write the sampled metric time series as JSON lines to this file")
 		perfetto    = flag.String("perfetto", "", "write a Chrome Trace Event / Perfetto JSON trace of the perturbed runs to this file (load it in ui.perfetto.dev)")
@@ -151,15 +166,16 @@ func main() {
 	}
 
 	e := varsim.Experiment{
-		Label:        fmt.Sprintf("%s/%s", *wlName, *proc),
-		Config:       cfg,
-		Workload:     *wlName,
-		WorkloadSeed: *seed,
-		WarmupTxns:   *warmup,
-		MeasureTxns:  *txns,
-		Runs:         *runs,
-		SeedBase:     *pseed,
-		Workers:      *workers,
+		Label:            fmt.Sprintf("%s/%s", *wlName, *proc),
+		Config:           cfg,
+		Workload:         *wlName,
+		WorkloadSeed:     *seed,
+		WarmupTxns:       *warmup,
+		MeasureTxns:      *txns,
+		Runs:             *runs,
+		SeedBase:         *pseed,
+		Workers:          *workers,
+		DigestIntervalNS: *digestUS * 1000,
 	}
 
 	// Crash-safety plumbing: -resume rebuilds the experiment from the
@@ -314,7 +330,13 @@ func run(e varsim.Experiment, rc runCfg) error {
 	// space without preparing the machine — the warmup itself is
 	// skipped, so resuming a finished run is nearly free.
 	if rc.fromRcp == "" && rc.saveRcp == "" && rc.pub == nil && rc.intervalUS <= 0 && rc.perfetto == "" {
-		if sp, ok := e.CachedSpace(); ok {
+		if e.DigestIntervalNS > 0 {
+			if sp, sd, ok := e.CachedSpaceDigests(); ok {
+				report.WriteSpace(os.Stdout, sp)
+				report.WriteAttribution(os.Stdout, sd.Attribution(sp))
+				return nil
+			}
+		} else if sp, ok := e.CachedSpace(); ok {
 			report.WriteSpace(os.Stdout, sp)
 			return nil
 		}
@@ -383,8 +405,9 @@ func run(e varsim.Experiment, rc runCfg) error {
 	var sp varsim.Space
 	if rc.perfetto != "" {
 		var traces [][]varsim.TraceEvent
+		var sd varsim.SpaceDigests
 		var err error
-		sp, traces, err = varsim.BranchTraces(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, 0, e.Workers)
+		sp, traces, sd, err = varsim.BranchObserved(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, 0, e.Workers, e.DigestIntervalNS)
 		if err != nil {
 			return err
 		}
@@ -395,12 +418,40 @@ func run(e varsim.Experiment, rc runCfg) error {
 				Events:  evs,
 				NumCPUs: e.Config.NumCPUs,
 			}
+			// Flag each run's fork from run 0 inside its own trace.
+			if i > 0 && len(sd.Series) > i {
+				if d := varsim.DiffDigests(sd.Series[0], sd.Series[i]); d.Diverged {
+					runs[i].Marks = []traceviz.Mark{{TimeNS: d.TimeNS, Name: fmt.Sprintf("diverged: %s", d.Component)}}
+				}
+			}
 		}
 		if err := traceviz.WriteFile(rc.perfetto, runs...); err != nil {
 			return err
 		}
 		fmt.Printf("Perfetto trace (%d runs) written to %s — open it at https://ui.perfetto.dev\n",
 			len(runs), rc.perfetto)
+		if e.DigestIntervalNS > 0 {
+			report.WriteSpace(os.Stdout, sp)
+			report.WriteAttribution(os.Stdout, sd.Attribution(sp))
+			return nil
+		}
+	} else if e.DigestIntervalNS > 0 {
+		sp, sd, err := varsim.BranchSpaceDigests(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers, e.DigestIntervalNS, e.Resilience)
+		var inc *fleet.Incomplete
+		if errors.As(err, &inc) {
+			report.WriteSpace(os.Stdout, sp)
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		att := sd.Attribution(sp)
+		if rc.pub != nil {
+			rc.pub.PublishDivergence(att)
+		}
+		report.WriteSpace(os.Stdout, sp)
+		report.WriteAttribution(os.Stdout, att)
+		return nil
 	} else {
 		var err error
 		sp, err = varsim.BranchSpaceRes(base, e.Label, e.Runs, e.MeasureTxns, e.SeedBase, e.Workers, e.Resilience)

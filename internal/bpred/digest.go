@@ -1,0 +1,68 @@
+package bpred
+
+import "varsim/internal/digest"
+
+// rasDigestDepth is how many top-of-stack return addresses the cheap
+// summary folds each interval.
+const rasDigestDepth = 4
+
+// HashInto folds predictor state into h. The cheap summary — global
+// history, RAS position and its top entries, and the behavioral
+// counters — runs every digest interval; any branch whose *outcome*
+// differed between two runs moves a counter, so divergence that
+// matters is caught at summary granularity. When full is set the
+// complete YAGS/indirect tables are folded too, catching pure
+// table-state skew (same outcomes, different training) before it
+// becomes a misprediction; callers amortize that over every k-th
+// interval because the tables hold ~100k entries per core.
+func (u *Unit) HashInto(h *digest.Hash, full bool) {
+	h.U64(u.ghr)
+	h.I64(int64(u.rasTop))
+	for i := 0; i < rasDigestDepth && i < len(u.ras); i++ {
+		h.U64(u.ras[(u.rasTop-i+len(u.ras))%len(u.ras)])
+	}
+	h.U64(u.CondSeen)
+	h.U64(u.CondMiss)
+	h.U64(u.IndSeen)
+	h.U64(u.IndMiss)
+	h.U64(u.RetSeen)
+	h.U64(u.RetMiss)
+	h.U64(u.Overflows)
+	if !full {
+		return
+	}
+	// Full table fold: XOR-accumulate mixed per-entry words so cost is
+	// one pass with no per-entry hash-chain dependency, then fold the
+	// accumulators. Index participates so swapped entries don't cancel.
+	var acc uint64
+	for i, c := range u.choice {
+		if c != 2 { // skip entries still at the weakly-taken default
+			acc ^= digest.Mix64(uint64(i)<<8 | uint64(c))
+		}
+	}
+	h.U64(acc)
+	for t, tbl := range [2][]entry{u.excT, u.excNT} {
+		acc = 0
+		for i := range tbl {
+			e := &tbl[i]
+			if e.valid {
+				acc ^= digest.Mix64(uint64(t)<<48 | uint64(i)<<24 | uint64(e.tag)<<8 | uint64(e.ctr))
+			}
+		}
+		h.U64(acc)
+	}
+	for t, tbl := range [2][]indEntry{u.ind1, u.ind2} {
+		acc = 0
+		for i := range tbl {
+			e := &tbl[i]
+			if e.valid {
+				acc ^= digest.Mix64(uint64(t+7)<<56 | uint64(i)<<40 | uint64(e.site)<<8 | uint64(e.ctr))
+				acc ^= digest.Mix64(e.target + uint64(i))
+			}
+		}
+		h.U64(acc)
+	}
+	for _, r := range u.ras {
+		h.U64(r)
+	}
+}

@@ -1,0 +1,75 @@
+package bpred
+
+import (
+	"testing"
+
+	"varsim/internal/config"
+	"varsim/internal/digest"
+)
+
+func unitDigest(u *Unit, full bool) uint64 {
+	h := digest.New()
+	u.HashInto(&h, full)
+	return h.Sum()
+}
+
+func TestHashIntoFreshUnitsAgree(t *testing.T) {
+	cfg := config.Default().OOO
+	a, b := New(cfg), New(cfg)
+	if unitDigest(a, false) != unitDigest(b, false) {
+		t.Fatalf("fresh units digest unequal (summary)")
+	}
+	if unitDigest(a, true) != unitDigest(b, true) {
+		t.Fatalf("fresh units digest unequal (full)")
+	}
+}
+
+func TestSummarySeesOutcomeDivergence(t *testing.T) {
+	cfg := config.Default().OOO
+	a, b := New(cfg), New(cfg)
+	a.PredictCond(1, true)
+	b.PredictCond(1, false)
+	if unitDigest(a, false) == unitDigest(b, false) {
+		t.Fatalf("different branch outcomes invisible to summary digest")
+	}
+}
+
+func TestFullFoldSeesTableOnlySkew(t *testing.T) {
+	// Same outcomes at different sites: identical counters and history,
+	// so the cheap summary agrees — only the full table fold can tell
+	// the units apart. This is the case the every-k-intervals full fold
+	// exists for.
+	cfg := config.Default().OOO
+	a, b := New(cfg), New(cfg)
+	a.PredictCond(1, true)
+	b.PredictCond(2, true)
+	if unitDigest(a, false) != unitDigest(b, false) {
+		t.Fatalf("summary digest expected to agree for site-only skew")
+	}
+	if unitDigest(a, true) == unitDigest(b, true) {
+		t.Fatalf("table-state skew invisible to full digest")
+	}
+}
+
+func TestHashIntoSeesRAS(t *testing.T) {
+	cfg := config.Default().OOO
+	a, b := New(cfg), New(cfg)
+	a.Call(0x1000)
+	b.Call(0x2000)
+	if unitDigest(a, false) == unitDigest(b, false) {
+		t.Fatalf("return-address-stack contents invisible to summary digest")
+	}
+}
+
+func TestHashIntoReadOnly(t *testing.T) {
+	cfg := config.Default().OOO
+	u := New(cfg)
+	u.PredictCond(3, true)
+	u.Call(0x40)
+	before := unitDigest(u, true)
+	unitDigest(u, false)
+	unitDigest(u, true)
+	if unitDigest(u, true) != before {
+		t.Fatalf("HashInto mutated the unit")
+	}
+}

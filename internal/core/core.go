@@ -153,6 +153,12 @@ type Experiment struct {
 	// one worker per host CPU (fleet.DefaultWorkers). Any value yields
 	// byte-identical results — see docs/PARALLELISM.md.
 	Workers int
+	// DigestIntervalNS, when positive, records an interval state digest
+	// every DigestIntervalNS of simulated time in each run (see
+	// internal/digest); RunSpaceDigests returns the streams alongside
+	// the space. Serialized with the spec so a -resume replays the same
+	// cadence it journaled.
+	DigestIntervalNS int64 `json:"digest_interval_ns,omitempty"`
 	// Resilience carries the crash-safety plumbing (journal, resume
 	// cache, retry/timeout budget, drain signal); the zero value means
 	// plain in-memory execution. Excluded from JSON so experiment spec
@@ -260,6 +266,14 @@ func branchKey(label, cfgHash string, seedBase uint64, i int) journal.Key {
 		Seed:       rng.Derive(seedBase, 1+uint64(i)),
 		Index:      i,
 	}
+}
+
+// RunKey returns run i's journal key — the identity the experiment's
+// run and digest records are filed under. Exposed so tools reading a
+// journal post-hoc (varsim diff) address runs exactly as the fleet
+// wrote them.
+func (e Experiment) RunKey(i int) journal.Key {
+	return branchKey(e.Label, journal.ConfigHash(e.Config), e.SeedBase, i)
 }
 
 // CachedSpace replays the full space from the resume cache when every

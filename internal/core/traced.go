@@ -1,6 +1,7 @@
 package core
 
 import (
+	"varsim/internal/digest"
 	"varsim/internal/fleet"
 	"varsim/internal/machine"
 	"varsim/internal/rng"
@@ -17,34 +18,61 @@ import (
 // both the space and the per-run streams are byte-identical for every
 // worker count.
 func BranchTraces(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents, workers int) (Space, [][]trace.Event, error) {
+	sp, traces, _, err := BranchObserved(checkpoint, label, n, measureTxns, seedBase, capEvents, workers, 0)
+	return sp, traces, err
+}
+
+// BranchObserved is BranchTraces with interval state digests riding
+// along: every branched run records both its event stream and, when
+// digestIntervalNS > 0, a digest sample per interval of simulated
+// time. One fleet pass produces the space, the traces, and the digest
+// streams — divergence markers land in the same trace they annotate.
+// digestIntervalNS <= 0 disables digesting (SpaceDigests comes back
+// empty) and makes this exactly BranchTraces.
+func BranchObserved(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents, workers int, digestIntervalNS int64) (Space, [][]trace.Event, SpaceDigests, error) {
 	sp := Space{Label: label}
+	sd := SpaceDigests{IntervalNS: digestIntervalNS}
 	if n <= 0 {
-		return sp, nil, nil
+		return sp, nil, sd, nil
 	}
-	type traced struct {
+	type observed struct {
 		res    machine.Result
 		events []trace.Event
+		dig    digest.Series
 	}
-	branches, err := fleet.Map(fleet.Width(workers), n, func(i int) (traced, error) {
+	branches, err := fleet.Map(fleet.Width(workers), n, func(i int) (observed, error) {
 		m := checkpoint.Snapshot()
 		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
 		m.EnableTrace(capEvents)
+		if digestIntervalNS > 0 {
+			m.EnableDigests(digestIntervalNS)
+		}
 		res, err := m.Run(measureTxns)
 		if err != nil {
-			return traced{}, err
+			return observed{}, err
 		}
-		return traced{res: res, events: m.Trace().Events()}, nil
+		o := observed{res: res, events: m.Trace().Events()}
+		if digestIntervalNS > 0 {
+			o.dig = m.DigestSeries()
+		}
+		return o, nil
 	})
 	if err != nil {
-		return Space{}, nil, runError(err)
+		return Space{}, nil, SpaceDigests{}, runError(err)
 	}
 	sp.Values = make([]float64, n)
 	sp.Results = make([]machine.Result, n)
 	traces := make([][]trace.Event, n)
+	if digestIntervalNS > 0 {
+		sd.Series = make([]digest.Series, n)
+	}
 	for i, b := range branches {
 		sp.Values[i] = b.res.CPT
 		sp.Results[i] = b.res
 		traces[i] = b.events
+		if digestIntervalNS > 0 {
+			sd.Series[i] = b.dig
+		}
 	}
-	return sp, traces, nil
+	return sp, traces, sd, nil
 }

@@ -1,0 +1,177 @@
+package digest
+
+import (
+	"math"
+	"sort"
+)
+
+// HistBucket is one bin of the divergence-onset histogram.
+type HistBucket struct {
+	LoNS  int64 `json:"lo_ns"`
+	HiNS  int64 `json:"hi_ns"` // exclusive, except the last bucket
+	Count int   `json:"count"`
+}
+
+// Attribution aggregates first-divergence points across all perturbed
+// runs of a space, each run diffed against run 0 (the baseline): the
+// paper's "runs vary" turned into when they fork and which subsystem
+// forks first. It is what /divergence serves and the attribution
+// report renders.
+type Attribution struct {
+	// Runs is the space size (including the baseline); Diverged how
+	// many of the Runs-1 comparisons forked.
+	Runs     int `json:"runs"`
+	Diverged int `json:"diverged"`
+	// IntervalNS is the digest cadence shared by every stream.
+	IntervalNS int64 `json:"interval_ns"`
+	// Onsets holds each diverged run's first-divergence time (ns),
+	// in run-index order.
+	Onsets []int64 `json:"onsets_ns,omitempty"`
+	// ForkComponents maps component name -> how many diverged runs
+	// forked there first; ForkCounts is the same in Vector order.
+	ForkCounts [NumComponents]int `json:"-"`
+	Forks      []ForkCount        `json:"forks,omitempty"`
+	// Histogram bins the onsets into equal-width buckets.
+	Histogram []HistBucket `json:"histogram,omitempty"`
+	// OnsetSpreadCorr is the Pearson correlation between a run's
+	// divergence onset and |CPT - mean CPT| over the diverged runs
+	// (CorrRuns of them); 0 when fewer than 3 points or degenerate.
+	// Early forks correlating with large metric deviations is the
+	// "divergence onset predicts final spread" signal.
+	OnsetSpreadCorr float64 `json:"onset_spread_corr"`
+	CorrRuns        int     `json:"corr_runs"`
+}
+
+// ForkCount is one component's first-fork tally (JSON-friendly form of
+// ForkCounts, emitted in Vector order).
+type ForkCount struct {
+	Component string `json:"component"`
+	Count     int    `json:"count"`
+}
+
+// histBuckets is the onset histogram's bin count.
+const histBuckets = 8
+
+// Attribute diffs every run's digest stream against run 0 and
+// aggregates the fork points. values holds the runs' final metric
+// (CPT), index-aligned with series; runs whose stream is empty (never
+// ticked, or missing after a drain) are skipped, and non-finite values
+// (NaN placeholders for drained runs) stay out of the mean and the
+// correlation. Pure and deterministic: same streams, same attribution.
+func Attribute(series []Series, values []float64) Attribution {
+	att := Attribution{Runs: len(series)}
+	if len(series) == 0 {
+		return att
+	}
+	att.IntervalNS = series[0].IntervalNS
+	base := series[0]
+	var onsets []int64 // diverged runs only
+	var spreads []float64
+	// Mean over the finite values only: a drained space aligns its
+	// missing runs as NaN, and one NaN would poison every spread.
+	mean, finiteVals := 0.0, 0
+	for _, v := range values {
+		if finite(v) {
+			mean += v
+			finiteVals++
+		}
+	}
+	if finiteVals > 0 {
+		mean /= float64(finiteVals)
+	}
+	for i := 1; i < len(series); i++ {
+		if base.Len() == 0 || series[i].Len() == 0 {
+			continue
+		}
+		d := Diff(base, series[i])
+		if !d.Diverged {
+			continue
+		}
+		att.Diverged++
+		att.Onsets = append(att.Onsets, d.TimeNS)
+		att.ForkCounts[d.Component]++
+		if i < len(values) && finite(values[i]) {
+			onsets = append(onsets, d.TimeNS)
+			spreads = append(spreads, math.Abs(values[i]-mean))
+		}
+	}
+	for c := 0; c < NumComponents; c++ {
+		if att.ForkCounts[c] > 0 {
+			att.Forks = append(att.Forks, ForkCount{
+				Component: Component(c).String(),
+				Count:     att.ForkCounts[c],
+			})
+		}
+	}
+	att.Histogram = histogram(att.Onsets)
+	att.OnsetSpreadCorr, att.CorrRuns = pearson(onsets, spreads)
+	return att
+}
+
+// finite reports whether v is a usable metric value (not NaN or ±Inf).
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// histogram bins onset times into histBuckets equal-width bins spanning
+// [min, max]; a single distinct value yields one bucket.
+func histogram(onsets []int64) []HistBucket {
+	if len(onsets) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), onsets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo == hi {
+		return []HistBucket{{LoNS: lo, HiNS: hi, Count: len(onsets)}}
+	}
+	width := (hi - lo + int64(histBuckets) - 1) / int64(histBuckets)
+	out := make([]HistBucket, 0, histBuckets)
+	for b := 0; b < histBuckets; b++ {
+		blo := lo + int64(b)*width
+		bhi := blo + width
+		if blo > hi {
+			break
+		}
+		n := 0
+		for _, v := range sorted {
+			if v >= blo && (v < bhi || (b == histBuckets-1 && v == hi)) {
+				n++
+			}
+		}
+		out = append(out, HistBucket{LoNS: blo, HiNS: bhi, Count: n})
+	}
+	return out
+}
+
+// pearson returns the sample Pearson correlation of (x, y) pairs and
+// the number of points used; 0 for fewer than 3 points or a degenerate
+// (zero-variance) axis, so the result always marshals as JSON.
+func pearson(x []int64, y []float64) (float64, int) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n < 3 {
+		return 0, n
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += float64(x[i])
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := float64(x[i]) - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, n
+	}
+	return sxy / math.Sqrt(sxx*syy), n
+}

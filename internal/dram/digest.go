@@ -1,0 +1,25 @@
+package dram
+
+import "varsim/internal/digest"
+
+// HashInto folds the controllers' queue state — every bank's next-free
+// time plus the access/stall counters — into h. freeAt values are
+// absolute simulated times, which is fine for chained digests: runs
+// branched from one checkpoint agree on them exactly until their
+// trajectories fork.
+func (c *Controllers) HashInto(h *digest.Hash) {
+	for _, t := range c.freeAt {
+		h.I64(t)
+	}
+	h.U64(c.Accesses)
+	h.I64(c.StallNS)
+}
+
+// HashInto folds the disks' queue state into h.
+func (d *Disks) HashInto(h *digest.Hash) {
+	for _, t := range d.freeAt {
+		h.I64(t)
+	}
+	h.U64(d.Requests)
+	h.I64(d.QueueNS)
+}

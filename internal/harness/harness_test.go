@@ -12,8 +12,8 @@ func quickH(buf *bytes.Buffer) *H {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -65,7 +65,10 @@ func runQuick(t *testing.T, name string, wantSubstrings ...string) {
 	}
 }
 
-func TestFig1(t *testing.T)  { runQuick(t, "fig1", "scheduling events", "diverg") }
+func TestFig1(t *testing.T) { runQuick(t, "fig1", "scheduling events", "diverg") }
+func TestDivergenceStudy(t *testing.T) {
+	runQuick(t, "divergence", "first forks", "divergence attribution", "metric deltas")
+}
 func TestFig4(t *testing.T)  { runQuick(t, "fig4", "DRAM latency", "inversions") }
 func TestFig10(t *testing.T) { runQuick(t, "fig10", "sample size", "95% CI") }
 func TestFig11(t *testing.T) { runQuick(t, "fig11", "test statistic", "rejection region") }

@@ -1,0 +1,32 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"varsim/internal/digest"
+)
+
+// DigestRecord builds the StatusDigest record persisting run key's
+// digest stream. The Series JSON round-trips exactly (uint64 chain
+// words decode back into uint64 fields), so a replayed record is
+// byte-identical to a re-simulated one.
+func DigestRecord(key Key, s digest.Series) (Record, error) {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return Record{}, fmt.Errorf("journal: marshal digest series: %w", err)
+	}
+	return Record{Key: key, Status: StatusDigest, Result: buf}, nil
+}
+
+// DecodeDigest unmarshals a StatusDigest record's Series.
+func DecodeDigest(r Record) (digest.Series, error) {
+	if r.Status != StatusDigest {
+		return digest.Series{}, fmt.Errorf("journal: record %s has status %q, not %q", r.Key, r.Status, StatusDigest)
+	}
+	var s digest.Series
+	if err := json.Unmarshal(r.Result, &s); err != nil {
+		return digest.Series{}, fmt.Errorf("journal: decode digest series: %w", err)
+	}
+	return s, nil
+}

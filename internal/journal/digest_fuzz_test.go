@@ -1,0 +1,70 @@
+package journal
+
+import (
+	"encoding/json"
+	"testing"
+
+	"varsim/internal/digest"
+)
+
+// FuzzDigestCodec pins the digest record codec's safety properties:
+// decoding arbitrary bytes never panics, any accepted digest record's
+// Series survives a decode/encode/decode round trip exactly (chain
+// words are uint64 — a float64 anywhere in the path would corrupt
+// them), and re-encoding is byte-identical — the property -resume's
+// digest replay rests on.
+func FuzzDigestCodec(f *testing.F) {
+	seed := func(key Key, s digest.Series) {
+		rec, err := DigestRecord(key, s)
+		if err != nil {
+			return
+		}
+		if line, err := Encode(rec); err == nil {
+			f.Add(line)
+		}
+	}
+	rec := digest.NewRecorder(10_000)
+	rec.Record(10_000, digest.Vector{1, 2, 3, 4, 5})
+	rec.Record(20_000, digest.Vector{^uint64(0), 1 << 63, 0, 42, ^uint64(0) - 1})
+	seed(Key{Experiment: "base", ConfigHash: "00112233aabbccdd", Seed: 7, Index: 0}, rec.Series())
+	seed(Key{Experiment: "4-way", ConfigHash: "ffffffffffffffff", Seed: ^uint64(0), Index: 399},
+		digest.Series{IntervalNS: 1})
+	f.Add([]byte(`{"experiment":"e","status":"digest","result":{"interval_ns":5,"samples":[]}}` + "\n"))
+	f.Add([]byte(`{"experiment":"e","status":"digest","result":{"samples":[{"chain":[1,2,3,4,5]}]}}`))
+	f.Add([]byte(`{"experiment":"e","status":"digest"}`))
+	f.Add([]byte(`{"experiment":"e","status":"digest","result":"notaseries"}`))
+	f.Add([]byte("not json"))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		r, err := Decode(line) // must never panic
+		if err != nil || r.Status != StatusDigest {
+			return
+		}
+		s, err := DecodeDigest(r) // must never panic either
+		if err != nil {
+			return
+		}
+		rec2, err := DigestRecord(r.Key, s)
+		if err != nil {
+			t.Fatalf("decoded series failed to re-encode: %v", err)
+		}
+		s2, err := DecodeDigest(rec2)
+		if err != nil {
+			t.Fatalf("re-encoded digest record failed to decode: %v", err)
+		}
+		if s2.IntervalNS != s.IntervalNS || len(s2.Samples) != len(s.Samples) {
+			t.Fatalf("series shape changed: %+v vs %+v", s2, s)
+		}
+		for i := range s.Samples {
+			if s2.Samples[i] != s.Samples[i] {
+				t.Fatalf("sample %d changed: %+v vs %+v", i, s2.Samples[i], s.Samples[i])
+			}
+		}
+		// Byte-identity of the canonical encoding.
+		b1, _ := json.Marshal(s)
+		b2, _ := json.Marshal(s2)
+		if string(b1) != string(b2) {
+			t.Fatalf("canonical encodings differ:\n%s\n%s", b1, b2)
+		}
+	})
+}

@@ -40,6 +40,12 @@ const FileName = "journal.jsonl"
 const (
 	StatusOK     = "ok"     // the job completed; Result holds its JSON
 	StatusFailed = "failed" // the job exhausted its retries; Error set
+	// StatusDigest is a run's interval state-digest stream (Result
+	// holds a digest.Series as JSON). Digest records share their run's
+	// Key and ride alongside its StatusOK record, so divergence
+	// attribution works post-hoc from the journal and replays across
+	// -resume without re-simulating.
+	StatusDigest = "digest"
 )
 
 // Key identifies one journaled job. Two invocations that agree on all
@@ -70,9 +76,9 @@ type Record struct {
 // Validate checks the structural invariants the codec enforces.
 func (r Record) Validate() error {
 	switch r.Status {
-	case StatusOK:
+	case StatusOK, StatusDigest:
 		if len(r.Result) == 0 || !json.Valid(r.Result) {
-			return errors.New("journal: ok record needs a valid JSON result")
+			return fmt.Errorf("journal: %s record needs a valid JSON result", r.Status)
 		}
 	case StatusFailed:
 		if r.Error == "" {
@@ -372,12 +378,23 @@ func Recover(path string, logf func(format string, args ...any)) (LoadResult, er
 // success on a previous resume), the last one wins.
 type Cache struct {
 	byKey map[Key]Record
+	// digests holds StatusDigest records separately: they share their
+	// run's Key, so folding them into byKey would clobber the run
+	// record (or be clobbered by it) depending on append order.
+	digests map[Key]Record
 }
 
 // NewCache builds a cache over recs (normally LoadResult.Records).
 func NewCache(recs []Record) *Cache {
-	c := &Cache{byKey: make(map[Key]Record, len(recs))}
+	c := &Cache{
+		byKey:   make(map[Key]Record, len(recs)),
+		digests: make(map[Key]Record),
+	}
 	for _, r := range recs {
+		if r.Status == StatusDigest {
+			c.digests[r.Key] = r
+			continue
+		}
 		c.byKey[r.Key] = r
 	}
 	return c
@@ -397,13 +414,36 @@ func (c *Cache) Get(key Key) (Record, bool) {
 	return r, true
 }
 
-// Len returns the number of distinct keys cached (including failed
-// records, which Get will not serve).
+// Digest returns the digest record for key, counting a process-wide
+// cache hit. Nil-safe.
+func (c *Cache) Digest(key Key) (Record, bool) {
+	if c == nil {
+		return Record{}, false
+	}
+	r, ok := c.digests[key]
+	if !ok {
+		return Record{}, false
+	}
+	cacheHits.Add(1)
+	return r, true
+}
+
+// Len returns the number of distinct run keys cached (including failed
+// records, which Get will not serve; digest records are counted
+// separately by DigestLen).
 func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
 	return len(c.byKey)
+}
+
+// DigestLen returns the number of digest records cached.
+func (c *Cache) DigestLen() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.digests)
 }
 
 // OpenDir is the resume entry point: recover the journal in dir

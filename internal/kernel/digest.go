@@ -1,0 +1,51 @@
+package kernel
+
+import "varsim/internal/digest"
+
+// HashInto folds the full scheduler state into h: every thread's
+// scheduling tuple, per-CPU running threads and dispatch queues, lock
+// holders and wait queues, barrier arrival state, and the global
+// counters. Slices are folded length-prefixed in index order, so queue
+// *order* — the paper's lock-acquisition-order variability — is part of
+// the digest, not just queue membership.
+func (os *OS) HashInto(h *digest.Hash) {
+	for i := range os.Threads {
+		t := &os.Threads[i]
+		h.U8(uint8(t.State))
+		h.I32(t.CPU)
+		h.I64(t.DispatchedAt)
+		h.I32(t.HeldLocks)
+		h.U64(t.Switches)
+		h.U64(t.Migrations)
+	}
+	for _, tid := range os.Current {
+		h.I32(tid)
+	}
+	for _, q := range os.RunQ {
+		h.U64(uint64(len(q)))
+		for _, tid := range q {
+			h.I32(tid)
+		}
+	}
+	for i := range os.Locks {
+		l := &os.Locks[i]
+		h.I32(l.Holder)
+		h.U64(uint64(len(l.Waiters)))
+		for _, tid := range l.Waiters {
+			h.I32(tid)
+		}
+		h.U64(l.Acquisitions)
+		h.U64(l.Contentions)
+	}
+	for i := range os.Barriers {
+		b := &os.Barriers[i]
+		h.I64(int64(b.Arrived))
+		h.U64(uint64(len(b.Waiters)))
+		for _, tid := range b.Waiters {
+			h.I32(tid)
+		}
+	}
+	h.I64(int64(os.DoneCount))
+	h.U64(os.Preempts)
+	h.U64(os.Steals)
+}

@@ -1,0 +1,57 @@
+package kernel
+
+import (
+	"testing"
+
+	"varsim/internal/digest"
+)
+
+func osDigest(os *OS) uint64 {
+	h := digest.New()
+	os.HashInto(&h)
+	return h.Sum()
+}
+
+func TestHashIntoDeterministic(t *testing.T) {
+	a := New(4, 8, 2, 1, 8)
+	b := New(4, 8, 2, 1, 8)
+	if osDigest(a) != osDigest(b) {
+		t.Fatalf("identical fresh OSes digest unequal")
+	}
+}
+
+func TestHashIntoSeesQueueOrder(t *testing.T) {
+	// Lock acquisition order is the paper's canonical variability
+	// source: two OSes whose wait queues hold the same threads in a
+	// different order must digest differently.
+	a := New(2, 4, 1, 1, 4)
+	b := New(2, 4, 1, 1, 4)
+	a.Locks[0].Waiters = []int32{1, 2}
+	b.Locks[0].Waiters = []int32{2, 1}
+	if osDigest(a) == osDigest(b) {
+		t.Fatalf("wait-queue order invisible to digest")
+	}
+	b.Locks[0].Waiters = []int32{1, 2}
+	if osDigest(a) != osDigest(b) {
+		t.Fatalf("converged OSes digest unequal")
+	}
+}
+
+func TestHashIntoSeesSchedulerState(t *testing.T) {
+	a := New(2, 4, 1, 1, 4)
+	base := osDigest(a)
+	a.Threads[3].State = BlockedIO
+	if osDigest(a) == base {
+		t.Fatalf("thread state invisible to digest")
+	}
+	a.Threads[3].State = Ready
+	a.Current[1] = 3
+	if osDigest(a) == base {
+		t.Fatalf("running-thread assignment invisible to digest")
+	}
+	a.Current[1] = -1
+	a.Barriers[0].Arrived = 2
+	if osDigest(a) == base {
+		t.Fatalf("barrier arrivals invisible to digest")
+	}
+}

@@ -58,6 +58,7 @@ var wallPrefixes = []string{
 	"varsim/internal/workloads",
 	"varsim/internal/config",
 	"varsim/internal/trace",
+	"varsim/internal/digest",
 }
 
 // InsideWall reports whether the package at path is subject to detwall.

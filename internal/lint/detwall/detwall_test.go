@@ -16,6 +16,7 @@ func TestDetwall(t *testing.T) {
 		"varsim/internal/harness/harnesswall",
 		"varsim/internal/journal/journalok",
 		"varsim/internal/faultinject/faultok",
+		"varsim/internal/digest/digestwall",
 	)
 }
 
@@ -24,6 +25,7 @@ func TestInsideWall(t *testing.T) {
 		"varsim/internal/sim":          true,
 		"varsim/internal/mem":          true,
 		"varsim/internal/mem/sub":      true,
+		"varsim/internal/digest":       true, // digests hash sim state; host inputs would fork them
 		"varsim/internal/report":       false,
 		"varsim/internal/obs":          false,
 		"varsim/internal/fleet":        false, // the scheduler lives outside the wall by design

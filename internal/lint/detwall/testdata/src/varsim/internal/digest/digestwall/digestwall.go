@@ -1,0 +1,15 @@
+// Package digestwall is a detwall fixture pinning the digest layer
+// inside the determinism wall: state digests are recorded during
+// simulation and must be a pure function of simulator state, so a
+// digest hashed from a wall clock (or any host-timing source) would
+// silently break cross-run comparability.
+package digestwall
+
+import "time"
+
+// StampDigest must be flagged: a digest derived from the host clock
+// diverges between identical runs, defeating `varsim diff`.
+func StampDigest(chain uint64) uint64 {
+	t := time.Now() // want `wall-clock call time.Now inside the determinism wall`
+	return chain ^ uint64(t.UnixNano())
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"varsim/internal/config"
+	"varsim/internal/digest"
 	"varsim/internal/dram"
 	"varsim/internal/kernel"
 	"varsim/internal/mem"
@@ -157,6 +158,10 @@ type Machine struct {
 	sampler    *metrics.Sampler
 	sampleHook func(nowNS int64, snap metrics.Snapshot)
 	busDelay   *metrics.Histogram
+
+	// digestRec, when non-nil, chains per-component state digests on
+	// the same KindDrain cadence as the sampler (see EnableDigests).
+	digestRec *digest.Recorder
 
 	maxEvents uint64
 }
@@ -378,6 +383,9 @@ func (m *Machine) Snapshot() *Machine {
 	c.busDelay.AddFrom(m.busDelay)
 	if m.sampler != nil {
 		c.sampler = m.sampler.CloneInto(c.reg)
+	}
+	if m.digestRec != nil {
+		c.digestRec = m.digestRec.Clone()
 	}
 	return &c
 }

@@ -79,9 +79,15 @@ func (m *Machine) EnableSampling(intervalNS int64) {
 	if m.sampler != nil {
 		return
 	}
+	if m.digestRec != nil && m.digestRec.IntervalNS() != intervalNS {
+		panic("machine: sampling interval must match the digest interval (both ride one KindDrain stream)")
+	}
+	armed := m.digestRec != nil // digests already scheduled the drain ticks
 	m.sampler = metrics.NewSampler(m.reg, intervalNS)
 	m.sampler.Rebase(m.eng.Now())
-	m.eng.Schedule(intervalNS, sim.KindDrain, 0, 0)
+	if !armed {
+		m.eng.Schedule(intervalNS, sim.KindDrain, 0, 0)
+	}
 }
 
 // SamplingEnabled reports whether interval sampling is active.
@@ -105,17 +111,25 @@ func (m *Machine) MetricSeries() metrics.TimeSeries {
 	return m.sampler.Series()
 }
 
-// handleDrain services a KindDrain tick: snapshot the registry and
-// re-arm the next tick while the workload is still running.
+// handleDrain services a KindDrain tick: snapshot the registry and/or
+// record a state digest, then re-arm the next tick while the workload
+// is still running. Sampler and digest recorder share one drain stream
+// (EnableSampling/EnableDigests enforce equal intervals), so enabling
+// both costs one event per interval, not two.
 func (m *Machine) handleDrain() {
-	if m.sampler == nil {
-		return
+	var intervalNS int64
+	if m.sampler != nil {
+		smp := m.sampler.Tick(m.eng.Now())
+		if m.sampleHook != nil {
+			m.sampleHook(smp.TimeNS, smp.Values)
+		}
+		intervalNS = m.sampler.IntervalNS
 	}
-	smp := m.sampler.Tick(m.eng.Now())
-	if m.sampleHook != nil {
-		m.sampleHook(smp.TimeNS, smp.Values)
+	if m.digestRec != nil {
+		m.recordDigest()
+		intervalNS = m.digestRec.IntervalNS()
 	}
-	if !m.os.AllDone() {
-		m.eng.Schedule(m.sampler.IntervalNS, sim.KindDrain, 0, 0)
+	if intervalNS > 0 && !m.os.AllDone() {
+		m.eng.Schedule(intervalNS, sim.KindDrain, 0, 0)
 	}
 }

@@ -72,6 +72,17 @@ type Cache struct {
 	setMask uint64
 	stamp   uint64
 
+	// sig is an incremental XOR-fold over the valid lines' (way, tag,
+	// state, dirty) tuples — the cache's contribution to interval state
+	// digests. It is maintained at the state-changing sites (Fill,
+	// SetState, SetDirty, Invalidate) so reading it is O(1) instead of
+	// O(lines); an empty cache's sig is 0 because invalid lines
+	// contribute nothing. LRU stamps and hit/miss counters are
+	// deliberately excluded: a pure replacement-order difference is
+	// detected at the next victim choice it changes, which keeps the
+	// hot Probe path free of digest work.
+	sig uint64
+
 	// Statistics.
 	Hits      uint64
 	Misses    uint64
@@ -140,18 +151,22 @@ func (c *Cache) GetState(block uint64) State {
 // block is absent (the caller may race with an eviction).
 func (c *Cache) SetState(block uint64, s State) {
 	if i := c.find(block); i >= 0 {
+		c.sig ^= c.lineSig(i)
 		if s == Invalid {
 			c.lines[i] = line{}
 			return
 		}
 		c.lines[i].state = s
+		c.sig ^= c.lineSig(i)
 	}
 }
 
 // SetDirty marks a resident block dirty (L1 bookkeeping).
 func (c *Cache) SetDirty(block uint64) {
-	if i := c.find(block); i >= 0 {
+	if i := c.find(block); i >= 0 && !c.lines[i].dirty {
+		c.sig ^= c.lineSig(i)
 		c.lines[i].dirty = true
+		c.sig ^= c.lineSig(i)
 	}
 }
 
@@ -167,9 +182,11 @@ type Victim struct {
 // used). If the block is already resident its state is updated in place.
 func (c *Cache) Fill(block uint64, s State) (v Victim, evicted bool) {
 	if i := c.find(block); i >= 0 {
+		c.sig ^= c.lineSig(i)
 		c.stamp++
 		c.lines[i].state = s
 		c.lines[i].lru = c.stamp
+		c.sig ^= c.lineSig(i)
 		return Victim{}, false
 	}
 	base := c.setBase(block)
@@ -192,9 +209,11 @@ func (c *Cache) Fill(block uint64, s State) (v Victim, evicted bool) {
 		old := &c.lines[way]
 		v = Victim{Block: old.tag, State: old.state, Dirty: old.dirty}
 		c.Evictions++
+		c.sig ^= c.lineSig(way)
 	}
 	c.stamp++
 	c.lines[way] = line{tag: block, state: s, lru: c.stamp}
+	c.sig ^= c.lineSig(way)
 	return v, evicted
 }
 
@@ -203,6 +222,7 @@ func (c *Cache) Invalidate(block uint64) (prior State, dirty bool) {
 	if i := c.find(block); i >= 0 {
 		prior = c.lines[i].state
 		dirty = c.lines[i].dirty
+		c.sig ^= c.lineSig(i)
 		c.lines[i] = line{}
 	}
 	return prior, dirty

@@ -1,9 +1,10 @@
 package obs
 
-// dashboardHTML is the embedded live dashboard: it polls /series and
-// /status once a second and charts derived per-interval series (IPC, L2
-// miss rate, simulated-cycle throughput) as inline SVG — no external
-// assets, so it works offline and inside CI artifacts.
+// dashboardHTML is the embedded live dashboard: it polls /series,
+// /status and /divergence once a second and charts derived
+// per-interval series (IPC, L2 miss rate, simulated-cycle throughput)
+// as inline SVG, plus the cross-run divergence attribution — no
+// external assets, so it works offline and inside CI artifacts.
 const dashboardHTML = `<!doctype html>
 <html lang="en">
 <head>
@@ -28,6 +29,7 @@ const dashboardHTML = `<!doctype html>
 <h1>varsim live observability</h1>
 <div id="status" class="empty">waiting for /status…</div>
 <div id="charts"></div>
+<div class="chart"><h2>divergence</h2><div id="divergence" class="empty">no divergence data</div></div>
 <div class="chart"><h2>experiments</h2><div id="fleet" class="empty">no fleet</div></div>
 <script>
 "use strict";
@@ -100,14 +102,40 @@ function renderFleet(st) {
   }
   el.innerHTML = html + "</table>";
 }
+function renderDivergence(d) {
+  const el = document.getElementById("divergence");
+  if (!d || !d.runs) { el.className = "empty"; el.textContent = "no divergence data"; return; }
+  el.className = "";
+  let html = "diverged from baseline: <b>" + d.diverged + "/" + (d.runs - 1) + "</b> runs";
+  if (d.forks && d.forks.length) {
+    html += " — first fork: " + d.forks.map(f => f.component + " ×" + f.count).join(", ");
+  }
+  if (d.corr_runs >= 3) {
+    html += "<br>onset vs final-spread correlation r=" + d.onset_spread_corr.toFixed(2) +
+      " over " + d.corr_runs + " runs";
+  }
+  if (d.histogram && d.histogram.length) {
+    const max = Math.max(...d.histogram.map(b => b.count), 1);
+    html += "<table><tr><th>onset (ns)</th><th>runs</th><th></th></tr>";
+    for (const b of d.histogram) {
+      html += "<tr><td>" + b.lo_ns + " – " + b.hi_ns + "</td><td>" + b.count +
+        '</td><td><span style="color:#07c">' + "#".repeat(Math.round(b.count * 30 / max)) +
+        "</span></td></tr>";
+    }
+    html += "</table>";
+  }
+  el.innerHTML = html;
+}
 async function tick() {
   try {
-    const [sr, st] = await Promise.all([
+    const [sr, st, dv] = await Promise.all([
       fetch("/series").then(r => r.json()),
       fetch("/status").then(r => r.json()),
+      fetch("/divergence").then(r => r.json()),
     ]);
     render(sr);
     renderFleet(st);
+    renderDivergence(dv);
     const s = document.getElementById("status");
     s.className = "";
     s.textContent = st.total

@@ -30,6 +30,7 @@ type Fleet struct {
 	simStart  int64
 	order     []string
 	byName    map[string]*fleetEntry
+	finished  []float64 // wall seconds of completions, in completion order
 }
 
 type fleetEntry struct {
@@ -134,6 +135,7 @@ func (f *Fleet) Finish(name string, err error) {
 		if f.jobs != nil {
 			e.jobs = f.jobs().JobsDone - e.jobsAt
 		}
+		f.finished = append(f.finished, e.wall.Seconds())
 	}
 	if err != nil {
 		e.state = StateFailed
@@ -155,8 +157,9 @@ type ExperimentStatus struct {
 }
 
 // FleetStatus is the /status payload: sweep-level progress plus every
-// experiment's state. ETA extrapolates from the mean pace of finished
-// experiments, exactly like the stderr heartbeat.
+// experiment's state. ETA extrapolates from the pace of the most
+// recently finished experiments (see etaSecs), exactly like the stderr
+// heartbeat; it is absent until the first experiment completes.
 type FleetStatus struct {
 	Total           int      `json:"total"`
 	Done            int      `json:"done"`
@@ -245,10 +248,32 @@ func (f *Fleet) Status() FleetStatus {
 		st.JournalLag = j.Lag
 		st.JournalReplayed = j.Hits
 	}
-	if st.Done > 0 && st.Done < st.Total {
-		st.ETASecs = st.ElapsedSecs / float64(st.Done) * float64(st.Total-st.Done)
-	}
+	st.ETASecs = etaSecs(f.finished, st.Done, st.Total)
 	return st
+}
+
+// etaWindow is how many recent completions feed the ETA pace.
+const etaWindow = 5
+
+// etaSecs extrapolates time remaining from the mean wall time of the
+// last etaWindow completed experiments. A whole-sweep mean (elapsed /
+// done) misleads when per-experiment cost drifts — a sweep warming its
+// caches, or quick figures following heavy tables — and divides by
+// zero worth of information before anything finishes: with no
+// completions yet, or nothing left, the ETA is simply absent (0).
+func etaSecs(finished []float64, done, total int) float64 {
+	if done <= 0 || done >= total || len(finished) == 0 {
+		return 0
+	}
+	recent := finished
+	if len(recent) > etaWindow {
+		recent = recent[len(recent)-etaWindow:]
+	}
+	var sum float64
+	for _, w := range recent {
+		sum += w
+	}
+	return sum / float64(len(recent)) * float64(total-done)
 }
 
 // Line renders a one-line heartbeat-style summary of the fleet, so the

@@ -23,10 +23,11 @@ type Options struct {
 
 // Server is the observability HTTP server. Endpoints:
 //
-//	/         embedded dashboard (polls /series and /status)
-//	/metrics  Prometheus text exposition (version 0.0.4)
-//	/status   fleet progress JSON (FleetStatus)
-//	/series   sampled metric time series JSON (metrics.TimeSeries)
+//	/           embedded dashboard (polls /series, /status, /divergence)
+//	/metrics    Prometheus text exposition (version 0.0.4)
+//	/status     fleet progress JSON (FleetStatus)
+//	/series     sampled metric time series JSON (metrics.TimeSeries)
+//	/divergence cross-run divergence attribution JSON (digest.Attribution)
 //	/debug/pprof/...  Go's runtime profiler
 type Server struct {
 	opt   Options
@@ -44,6 +45,7 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/series", s.handleSeries)
+	s.mux.HandleFunc("/divergence", s.handleDivergence)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -152,6 +154,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			write("varsim_journal_replayed_total", "counter", float64(st.JournalReplayed))
 		}
 	}
+	if att, ok := s.opt.Publisher.Divergence(); ok {
+		write("varsim_divergence_runs", "gauge", float64(att.Runs))
+		write("varsim_divergence_diverged", "gauge", float64(att.Diverged))
+		if att.CorrRuns >= 3 {
+			write("varsim_divergence_onset_spread_corr", "gauge", att.OnsetSpreadCorr)
+		}
+		if len(att.Forks) > 0 {
+			fmt.Fprintf(w, "# TYPE varsim_divergence_first_forks gauge\n")
+			for _, f := range att.Forks {
+				fmt.Fprintf(w, "varsim_divergence_first_forks{component=%q} %d\n", f.Component, f.Count)
+			}
+		}
+	}
 	snap, kinds := s.opt.Publisher.Snapshot()
 	for _, name := range snap.Names() {
 		kind := ""
@@ -170,6 +185,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.opt.Publisher.Series())
+}
+
+// handleDivergence serves the last published attribution; before one
+// is published it serves the zero Attribution (runs 0), which clients
+// read as "no divergence data yet".
+func (s *Server) handleDivergence(w http.ResponseWriter, r *http.Request) {
+	att, _ := s.opt.Publisher.Divergence()
+	writeJSON(w, att)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

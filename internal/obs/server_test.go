@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"varsim/internal/digest"
 	"varsim/internal/harness"
 	"varsim/internal/metrics"
 )
@@ -191,6 +192,112 @@ func TestSeriesRoundTripWithNaN(t *testing.T) {
 	}
 }
 
+func TestSeriesSinglePoint(t *testing.T) {
+	pub := NewPublisher()
+	pub.SetSeriesBase(500, 0, metrics.Snapshot{"machine.instrs": 0})
+	pub.PublishSample(500, metrics.Snapshot{"machine.instrs": 100})
+
+	ts := httptest.NewServer(NewServer(Options{Publisher: pub}).Handler())
+	defer ts.Close()
+
+	body, _ := get(t, ts.URL+"/series")
+	var got metrics.TimeSeries
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/series is not valid JSON: %v\n%s", err, body)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("series has %d samples, want 1", got.Len())
+	}
+	if ipc := got.PerCycle("machine.instrs"); len(ipc) != 1 || ipc[0] != 0.2 {
+		t.Errorf("PerCycle over one sample = %v, want [0.2]", ipc)
+	}
+}
+
+func TestDivergenceEndpointAndMetrics(t *testing.T) {
+	pub := NewPublisher()
+	ts := httptest.NewServer(NewServer(Options{Publisher: pub}).Handler())
+	defer ts.Close()
+
+	// Before any publish: the zero Attribution, still valid JSON.
+	body, hdr := get(t, ts.URL+"/divergence")
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var att digest.Attribution
+	if err := json.Unmarshal([]byte(body), &att); err != nil {
+		t.Fatalf("/divergence is not valid JSON: %v\n%s", err, body)
+	}
+	if att.Runs != 0 {
+		t.Errorf("pre-publish attribution = %+v, want zero", att)
+	}
+	if body, _ := get(t, ts.URL+"/metrics"); strings.Contains(body, "varsim_divergence") {
+		t.Error("/metrics exports divergence gauges before any publish")
+	}
+
+	pub.PublishDivergence(digest.Attribution{
+		Runs: 5, Diverged: 3, IntervalNS: 1000,
+		Onsets: []int64{100, 200, 300},
+		Forks: []digest.ForkCount{
+			{Component: "mem", Count: 2},
+			{Component: "bpred", Count: 1},
+		},
+		OnsetSpreadCorr: 0.5, CorrRuns: 3,
+	})
+	body, _ = get(t, ts.URL+"/divergence")
+	if err := json.Unmarshal([]byte(body), &att); err != nil {
+		t.Fatalf("/divergence is not valid JSON: %v\n%s", err, body)
+	}
+	if att.Runs != 5 || att.Diverged != 3 || len(att.Forks) != 2 {
+		t.Errorf("served attribution = %+v, want the published one", att)
+	}
+
+	metricsBody, _ := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"varsim_divergence_runs 5",
+		"varsim_divergence_diverged 3",
+		"varsim_divergence_onset_spread_corr 0.5",
+		`varsim_divergence_first_forks{component="mem"} 2`,
+		`varsim_divergence_first_forks{component="bpred"} 1`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
+
+func TestETAFromRecentPace(t *testing.T) {
+	if got := etaSecs(nil, 0, 10); got != 0 {
+		t.Errorf("ETA before any completion = %v, want 0", got)
+	}
+	if got := etaSecs([]float64{1, 1}, 2, 2); got != 0 {
+		t.Errorf("ETA with nothing left = %v, want 0", got)
+	}
+	// Fewer completions than the window: mean of all of them.
+	if got := etaSecs([]float64{2, 4}, 2, 4); got != 6 {
+		t.Errorf("ETA from full history = %v, want mean(2,4)*2 = 6", got)
+	}
+	// More than the window: only the last etaWindow completions count,
+	// so early slow experiments stop skewing the estimate.
+	fin := []float64{10, 10, 10, 1, 1, 1, 1, 1}
+	if got := etaSecs(fin, len(fin), 10); got != 2 {
+		t.Errorf("ETA from recent window = %v, want mean(last 5)*2 = 2", got)
+	}
+
+	// Through the Fleet: absent before the first completion, absent
+	// again when the sweep is done.
+	f := NewFleet([]string{"a", "b"}, nil)
+	if st := f.Status(); st.ETASecs != 0 {
+		t.Errorf("fleet ETA with 0 done = %v, want 0", st.ETASecs)
+	}
+	for _, n := range []string{"a", "b"} {
+		f.Start(n)
+		f.Finish(n, nil)
+	}
+	if st := f.Status(); st.ETASecs != 0 {
+		t.Errorf("fleet ETA when finished = %v, want 0", st.ETASecs)
+	}
+}
+
 func TestDashboardAndPprofServed(t *testing.T) {
 	ts := httptest.NewServer(NewServer(Options{}).Handler())
 	defer ts.Close()
@@ -257,5 +364,10 @@ func TestNilSourcesServeEmpty(t *testing.T) {
 	}
 	if body, _ := get(t, ts.URL+"/metrics"); !strings.Contains(body, "varsim_obs_uptime_seconds") {
 		t.Error("empty /metrics missing uptime gauge")
+	}
+	body, _ = get(t, ts.URL+"/divergence")
+	var att digest.Attribution
+	if err := json.Unmarshal([]byte(body), &att); err != nil || att.Runs != 0 {
+		t.Errorf("nil-publisher /divergence invalid: %v %v", err, att)
 	}
 }

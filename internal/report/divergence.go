@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"varsim/internal/digest"
+	"varsim/internal/machine"
+)
+
+// WriteDivergence renders a two-run digest diff: when and where the
+// runs first forked. a and b name the runs ("run 0", "A/run 3", ...).
+func WriteDivergence(w io.Writer, a, b string, d digest.Divergence) {
+	if !d.Diverged {
+		fmt.Fprintf(w, "%s and %s: identical across all %d digest intervals\n", a, b, d.Compared)
+		return
+	}
+	if len(d.Components) == 0 {
+		// Length-only fork: the common prefix matches but one run kept
+		// ticking — the drain schedules themselves diverged.
+		fmt.Fprintf(w, "%s and %s: identical over the common %d intervals, then one stream ends (t=%d ns)\n",
+			a, b, d.Compared, d.TimeNS)
+		return
+	}
+	fmt.Fprintf(w, "%s and %s: first divergence at interval %d, t=%d ns\n", a, b, d.Interval, d.TimeNS)
+	fmt.Fprintf(w, "first-diverging component: %s", d.Component)
+	if len(d.Components) > 1 {
+		names := make([]string, len(d.Components))
+		for i, c := range d.Components {
+			names[i] = c.String()
+		}
+		fmt.Fprintf(w, "  (forked same tick: %s)", strings.Join(names, ", "))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteResultDelta renders the final-metric deltas that follow a
+// divergence: how far apart the two runs ended up.
+func WriteResultDelta(w io.Writer, a, b machine.Result) {
+	fmt.Fprintf(w, "metric deltas (B - A):\n")
+	fmt.Fprintf(w, "  cycles/txn  %+.1f  (%.1f vs %.1f, %+.2f%%)\n",
+		b.CPT-a.CPT, a.CPT, b.CPT, pctDelta(a.CPT, b.CPT))
+	// The counter fields are uint64; subtract as int64 so a B behind A
+	// prints a negative delta instead of wrapping.
+	fmt.Fprintf(w, "  instrs      %+d\n", b.Instrs-a.Instrs)
+	fmt.Fprintf(w, "  L2 misses   %+d\n", int64(b.L2Misses)-int64(a.L2Misses))
+	fmt.Fprintf(w, "  c2c xfers   %+d\n", int64(b.CacheToCache)-int64(a.CacheToCache))
+	fmt.Fprintf(w, "  ctx switch  %+d\n", int64(b.CtxSwitches)-int64(a.CtxSwitches))
+	fmt.Fprintf(w, "  lock waits  %+d\n", int64(b.LockContentions)-int64(a.LockContentions))
+}
+
+func pctDelta(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}
+
+// WriteAttribution renders the space-level divergence attribution: how
+// many runs forked from the baseline, where they forked first, the
+// onset histogram, and the onset-vs-spread correlation.
+func WriteAttribution(w io.Writer, att digest.Attribution) {
+	if att.Runs == 0 {
+		fmt.Fprintf(w, "divergence attribution: no digest streams\n")
+		return
+	}
+	fmt.Fprintf(w, "divergence attribution over %d runs (baseline = run 0):\n", att.Runs)
+	fmt.Fprintf(w, "  diverged from baseline: %d/%d\n", att.Diverged, att.Runs-1)
+	if att.Diverged == 0 {
+		return
+	}
+	parts := make([]string, len(att.Forks))
+	for i, f := range att.Forks {
+		parts[i] = fmt.Sprintf("%s %d", f.Component, f.Count)
+	}
+	fmt.Fprintf(w, "  first-fork component: %s\n", strings.Join(parts, ", "))
+	if len(att.Histogram) > 0 {
+		fmt.Fprintf(w, "  divergence-onset histogram (ns):\n")
+		max := 0
+		for _, b := range att.Histogram {
+			if b.Count > max {
+				max = b.Count
+			}
+		}
+		for _, b := range att.Histogram {
+			bar := ""
+			if max > 0 {
+				bar = strings.Repeat("#", b.Count*40/max)
+			}
+			fmt.Fprintf(w, "    [%12d, %12d)  %3d %s\n", b.LoNS, b.HiNS, b.Count, bar)
+		}
+	}
+	if att.CorrRuns >= 3 {
+		fmt.Fprintf(w, "  onset vs final-spread correlation: r=%+.2f over %d runs\n",
+			att.OnsetSpreadCorr, att.CorrRuns)
+	} else {
+		fmt.Fprintf(w, "  onset vs final-spread correlation: n/a (%d usable runs)\n", att.CorrRuns)
+	}
+}

@@ -53,6 +53,18 @@ func (r *Stream) Seed(seed uint64) {
 	r.s3 = SplitMix64(&sm)
 }
 
+// Digest folds the generator's full internal state into one 64-bit
+// word without advancing it. Two streams digest equal iff they will
+// produce identical output forever, which is what state-digest
+// recording (internal/digest) needs from workload generators.
+func (r Stream) Digest() uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range [4]uint64{r.s0, r.s1, r.s2, r.s3} {
+		h = (h ^ s) * 1099511628211
+	}
+	return h
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -43,6 +43,35 @@ func TestSnapshotCopy(t *testing.T) {
 	}
 }
 
+func TestDigest(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal states digest unequal")
+	}
+	before := a.Digest()
+	a.Uint64()
+	if a.Digest() == before {
+		t.Fatal("advancing the stream did not change the digest")
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("diverged states digest equal")
+	}
+	b.Uint64()
+	if a.Digest() != b.Digest() {
+		t.Fatal("lockstep streams digest unequal")
+	}
+	if New(1).Digest() == New(2).Digest() {
+		t.Fatal("different seeds digest equal")
+	}
+	// Digest must not advance the stream.
+	c, d := New(9), New(9)
+	c.Digest()
+	if c.Uint64() != d.Uint64() {
+		t.Fatal("Digest advanced the generator")
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	r := New(3)
 	if err := quick.Check(func(nRaw uint16) bool {

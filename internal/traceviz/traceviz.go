@@ -34,6 +34,15 @@ type Run struct {
 	Name    string        // process-group label, e.g. "run 3 (seed 0x2a)"
 	Events  []trace.Event // time-ordered structured trace
 	NumCPUs int           // CPU track count; 0 infers max CPU id + 1
+	Marks   []Mark        // annotations drawn as process-wide instants
+}
+
+// Mark is a named annotation at one simulated time — divergence
+// markers ("diverged: dram") from the digest diff land here so the
+// fork point is visible inside the trace it explains.
+type Mark struct {
+	TimeNS int64
+	Name   string
 }
 
 // chromeEvent is one Trace Event Format record. TS and Dur are in
@@ -198,6 +207,16 @@ func convertRun(pid int, r Run) []chromeEvent {
 				Args: map[string]any{"thread": ev.Thread, "class": ev.Arg},
 			})
 		}
+	}
+
+	// Run-level annotations: process-scoped instants on CPU track 0, so
+	// Perfetto draws a flag at the marked time ("p" spans every track of
+	// the process in chrome://tracing).
+	for _, mk := range r.Marks {
+		out = append(out, chromeEvent{
+			Name: mk.Name, Ph: "i", TS: usec(mk.TimeNS),
+			PID: pid, TID: 0, S: "p",
+		})
 	}
 
 	// Close spans left open at the end of the trace so every B has its E.

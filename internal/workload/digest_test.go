@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"varsim/internal/digest"
+)
+
+func progressDigest(h Hasher) uint64 {
+	d := digest.New()
+	h.HashProgress(&d)
+	return d.Sum()
+}
+
+func TestTxnHashProgress(t *testing.T) {
+	a := NewTxnEngine(testProfile(), 42)
+	b := NewTxnEngine(testProfile(), 42)
+	if progressDigest(a) != progressDigest(b) {
+		t.Fatalf("identical fresh engines digest unequal")
+	}
+	// Digesting must not advance the engine.
+	before := progressDigest(a)
+	if progressDigest(a) != before {
+		t.Fatalf("HashProgress not idempotent")
+	}
+	if a.Next(0) != b.Next(0) {
+		t.Fatalf("digested engine produced a different op stream")
+	}
+	if progressDigest(a) != progressDigest(b) {
+		t.Fatalf("lockstep engines digest unequal")
+	}
+	// Advancing a different thread forks the digest.
+	a.Next(1)
+	if progressDigest(a) == progressDigest(b) {
+		t.Fatalf("thread progress invisible to digest")
+	}
+	b.Next(1)
+	if progressDigest(a) != progressDigest(b) {
+		t.Fatalf("reconverged engines digest unequal")
+	}
+}
+
+func TestTxnHashProgressSeesFeedAssignment(t *testing.T) {
+	// The shared feed is the paper's timing-dependent work assignment:
+	// the same two transactions claimed by different threads must
+	// digest differently even after both engines built two txns.
+	a := NewTxnEngine(testProfile(), 42)
+	b := NewTxnEngine(testProfile(), 42)
+	a.Next(0)
+	a.Next(1)
+	b.Next(1)
+	b.Next(0)
+	if a.FeedIndex() != b.FeedIndex() {
+		t.Fatalf("feed positions differ: %d vs %d", a.FeedIndex(), b.FeedIndex())
+	}
+	if progressDigest(a) == progressDigest(b) {
+		t.Fatalf("txn-to-thread assignment invisible to digest")
+	}
+}
+
+func TestSciHashProgress(t *testing.T) {
+	prof := SciProfile{
+		Name: "sci", Threads: 4, Phases: 3, InstrPerPhase: 100,
+		PartitionBytes: 4096, SweepStride: 64, SharedBytes: 4096,
+		SharedReads: 4, SharedTheta: 0.5, WriteFrac: 0.25,
+	}
+	a := NewSciEngine(prof, 7)
+	b := NewSciEngine(prof, 7)
+	if progressDigest(a) != progressDigest(b) {
+		t.Fatalf("identical fresh sci engines digest unequal")
+	}
+	a.Next(2)
+	if progressDigest(a) == progressDigest(b) {
+		t.Fatalf("sci thread progress invisible to digest")
+	}
+	b.Next(2)
+	if progressDigest(a) != progressDigest(b) {
+		t.Fatalf("lockstep sci engines digest unequal")
+	}
+}
+
+func TestEnginesImplementHasher(t *testing.T) {
+	var _ Hasher = (*TxnEngine)(nil)
+	var _ Hasher = (*SciEngine)(nil)
+}

@@ -12,6 +12,8 @@
 // divergent execution paths the paper studies.
 package workload
 
+import "varsim/internal/digest"
+
 // OpKind enumerates the operations a thread can issue.
 type OpKind uint8
 
@@ -97,6 +99,18 @@ type Instance interface {
 	Next(tid int) Op
 	// Clone deep-copies the instance for machine snapshots.
 	Clone() Instance
+}
+
+// Hasher is implemented by workload instances that can fold their
+// progress state into an interval digest (internal/digest): shared-feed
+// position, per-thread generator state, and buffered-op cursors.
+// Optional — instances that don't implement it simply contribute
+// nothing to the workload digest component beyond what the machine
+// tracks itself.
+type Hasher interface {
+	// HashProgress folds the instance's progress state into h. It must
+	// be read-only: digesting a workload must not advance it.
+	HashProgress(h *digest.Hash)
 }
 
 // Region is a contiguous range of the simulated physical address space.

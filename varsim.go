@@ -42,6 +42,7 @@ import (
 	"varsim/internal/checkpoint"
 	"varsim/internal/config"
 	"varsim/internal/core"
+	"varsim/internal/digest"
 	"varsim/internal/harness"
 	"varsim/internal/machine"
 	"varsim/internal/metrics"
@@ -181,6 +182,52 @@ func BranchSpaceRes(checkpoint *Machine, label string, n int, measureTxns int64,
 // workers follows the BranchSpace convention.
 func BranchTraces(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents, workers int) (Space, [][]TraceEvent, error) {
 	return core.BranchTraces(checkpoint, label, n, measureTxns, seedBase, capEvents, workers)
+}
+
+// DigestSeries is one run's chained interval state-digest stream (see
+// Machine.EnableDigests): one hash-chain vector per interval of
+// simulated time, one chain per simulated component.
+type DigestSeries = digest.Series
+
+// DigestDivergence locates the first interval at which two runs'
+// digest streams fork and the component that forked first. (Distinct
+// from Divergence, which compares scheduler dispatch traces.)
+type DigestDivergence = digest.Divergence
+
+// DivergenceAttribution aggregates first-divergence points across all
+// perturbed runs of a space — when runs fork, where they fork first,
+// and whether early forks predict large final-metric spread.
+type DivergenceAttribution = digest.Attribution
+
+// SpaceDigests bundles a space's per-run digest streams, index-aligned
+// with the space's runs.
+type SpaceDigests = core.SpaceDigests
+
+// DiffDigests binary-searches two digest streams for their first
+// divergent interval.
+func DiffDigests(a, b DigestSeries) DigestDivergence { return digest.Diff(a, b) }
+
+// AttributeDivergence diffs every stream against stream 0 (the
+// baseline) and aggregates the fork points; values holds the runs'
+// final metric (CPT), index-aligned with series.
+func AttributeDivergence(series []DigestSeries, values []float64) DivergenceAttribution {
+	return digest.Attribute(series, values)
+}
+
+// BranchSpaceDigests is BranchSpaceRes with interval state digesting
+// enabled on every branched run: each run records one digest sample
+// per intervalNS of simulated time. With a journal attached the digest
+// streams persist alongside the run records, so -resume replays them
+// byte-identically.
+func BranchSpaceDigests(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, workers int, intervalNS int64, res Resilience) (Space, SpaceDigests, error) {
+	return core.BranchSpaceDigests(checkpoint, label, n, measureTxns, seedBase, workers, intervalNS, res)
+}
+
+// BranchObserved is BranchTraces with digest streams riding along:
+// one fleet pass produces the space, the per-run event streams, and
+// (when digestIntervalNS > 0) the per-run digest streams.
+func BranchObserved(checkpoint *Machine, label string, n int, measureTxns int64, seedBase uint64, capEvents, workers int, digestIntervalNS int64) (Space, [][]TraceEvent, SpaceDigests, error) {
+	return core.BranchObserved(checkpoint, label, n, measureTxns, seedBase, capEvents, workers, digestIntervalNS)
 }
 
 // MetricsRegistry is the typed registry of named counters, gauges and

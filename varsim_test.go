@@ -86,8 +86,8 @@ func TestWorkloadsListed(t *testing.T) {
 
 func TestPaperExperimentsRegistry(t *testing.T) {
 	names := PaperExperiments()
-	if len(names) != 17 {
-		t.Fatalf("want 17 experiments, got %d: %v", len(names), names)
+	if len(names) != 18 {
+		t.Fatalf("want 18 experiments, got %d: %v", len(names), names)
 	}
 	for _, want := range []string{"fig1", "table1", "table5", "anova"} {
 		found := false
