@@ -48,6 +48,7 @@ import (
 	"varsim/internal/journal"
 	"varsim/internal/machine"
 	"varsim/internal/obs"
+	"varsim/internal/precision"
 	"varsim/internal/profile"
 	"varsim/internal/report"
 )
@@ -148,6 +149,17 @@ func main() {
 		Stop:       stop,
 	}
 
+	// Precision observatory: every settled run (live or replayed from
+	// the journal) feeds the streaming tracker, which backs /precision,
+	// the dashboard's convergence panel and the heartbeat's
+	// achieved-vs-requested fragment. The tracker fills in host
+	// completion order and never writes to stdout, so the printed
+	// tables stay byte-identical.
+	trk := precision.New(precision.DefaultRelErr, precision.DefaultConfidence)
+	resil.Observe = func(k journal.Key, r machine.Result) {
+		trk.Observe(k.Experiment, k.ConfigHash, "cpt", r.CPT)
+	}
+
 	var man *report.Manifest
 	if *manifestP != "" {
 		man = report.NewManifest("experiments", *seed, machine.SimulatedCycles)
@@ -161,6 +173,7 @@ func main() {
 		if jw != nil || jc != nil {
 			hb.TrackJournal(journal.ReadStats)
 		}
+		hb.TrackPrecision(trk.Summary)
 	}
 
 	// Live observability: a fleet tracker fed by the harness progress
@@ -183,6 +196,7 @@ func main() {
 			Publisher: pub,
 			Fleet:     tracker,
 			SimCycles: machine.SimulatedCycles,
+			Precision: trk,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

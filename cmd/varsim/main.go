@@ -17,6 +17,8 @@
 //	varsim -resume out/
 //	varsim -workload oltp -runs 10 -txns 200 -digest-us 50 -journal out/
 //	varsim diff -A out/ -run-a 0 -run-b 3
+//	varsim -workload oltp -runs 20 -txns 200 -precision
+//	varsim precision -journal out/ -rel-err 0.04
 //
 // -digest-us records a cheap per-component state digest every N
 // simulated microseconds inside each run and prints the cross-run
@@ -34,6 +36,12 @@
 // drain, -resume replays the journaled runs and executes only the
 // missing ones, producing byte-identical output to an uninterrupted
 // run (docs/RESILIENCE.md).
+//
+// -precision appends the achieved-vs-requested precision table to the
+// space report (fed in run-index order, so it is byte-identical at any
+// -j); 'varsim precision' rebuilds the same table post-hoc from a
+// journal directory. With -http, /precision and the dashboard's
+// convergence panel stream the table live as runs settle.
 package main
 
 import (
@@ -56,6 +64,7 @@ import (
 	"varsim/internal/metrics"
 	"varsim/internal/obs"
 	"varsim/internal/plot"
+	"varsim/internal/precision"
 	"varsim/internal/profile"
 	"varsim/internal/report"
 	"varsim/internal/traceviz"
@@ -75,14 +84,22 @@ type runCfg struct {
 	seriesCSV        string
 	seriesJSONL      string
 	perfetto         string
-	pub              *obs.Publisher // nil unless -http is set
+	pub              *obs.Publisher     // nil unless -http is set
+	trk              *precision.Tracker // nil unless -http is set
+	precTable        bool               // -precision: print the table after the space
+	relErr, conf     float64            // precision target
 }
 
 func main() {
 	// Verbs come before flags: "varsim diff ..." dispatches to the
-	// digest-diff tool, everything else is the classic flag interface.
+	// digest-diff tool, "varsim precision ..." to the journal precision
+	// replay, everything else is the classic flag interface.
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		fail(runDiff(os.Args[2:]))
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "precision" {
+		fail(runPrecision(os.Args[2:]))
 		return
 	}
 	var (
@@ -115,6 +132,10 @@ func main() {
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file")
 		traceProf   = flag.String("trace", "", "write a runtime execution trace to this file")
 
+		precTable = flag.Bool("precision", false, "print the achieved-vs-requested precision table after the space report (fed in run-index order; byte-identical at any -j)")
+		relErrF   = flag.Float64("rel-err", precision.DefaultRelErr, "precision target: tolerated relative error of the mean (a fraction: 0.04 = ±4%)")
+		confF     = flag.Float64("confidence", precision.DefaultConfidence, "precision target: confidence level of the interval, in (0,1)")
+
 		journalDir = flag.String("journal", "", "write a crash-safe result journal and the experiment spec into this directory")
 		resumeDir  = flag.String("resume", "", "resume a journaled run from this directory (replays completed runs, executes the rest)")
 		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock timeout per run attempt (0 = unbounded); timed-out attempts are retried within -retries")
@@ -144,12 +165,15 @@ func main() {
 		saveRcp: *saveRcp, fromRcp: *fromRcp,
 		intervalUS: *intervalUS, seriesCSV: *seriesCSV, seriesJSONL: *seriesJSONL,
 		perfetto: *perfetto,
+		precTable: *precTable, relErr: *relErrF, conf: *confF,
 	}
 	if *httpAddr != "" {
 		rc.pub = obs.NewPublisher()
+		rc.trk = precision.New(*relErrF, *confF)
 		srv, err := obs.Serve(*httpAddr, obs.Options{
 			Publisher: rc.pub,
 			SimCycles: varsim.SimulatedCycles,
+			Precision: rc.trk,
 		})
 		fail(err)
 		defer srv.Close()
@@ -217,6 +241,15 @@ func main() {
 		JobTimeout: *jobTimeout,
 		Retries:    *retries,
 		Stop:       stop,
+	}
+	if rc.trk != nil {
+		// Live convergence tracking for /precision and the dashboard.
+		// The tracker fills in completion order and never touches
+		// stdout, so byte-identity of the report is unaffected.
+		trk := rc.trk
+		e.Resilience.Observe = func(k journal.Key, r varsim.Result) {
+			trk.Observe(k.Experiment, k.ConfigHash, "cpt", r.CPT)
+		}
 	}
 
 	// Run, then flush profiles and the manifest even on failure — a
@@ -334,10 +367,16 @@ func run(e varsim.Experiment, rc runCfg) error {
 			if sp, sd, ok := e.CachedSpaceDigests(); ok {
 				report.WriteSpace(os.Stdout, sp)
 				report.WriteAttribution(os.Stdout, sd.Attribution(sp))
+				if rc.precTable {
+					printPrecisionTable(sp, journal.ConfigHash(e.Config), rc.relErr, rc.conf)
+				}
 				return nil
 			}
 		} else if sp, ok := e.CachedSpace(); ok {
 			report.WriteSpace(os.Stdout, sp)
+			if rc.precTable {
+				printPrecisionTable(sp, journal.ConfigHash(e.Config), rc.relErr, rc.conf)
+			}
 			return nil
 		}
 	}
@@ -433,6 +472,9 @@ func run(e varsim.Experiment, rc runCfg) error {
 		if e.DigestIntervalNS > 0 {
 			report.WriteSpace(os.Stdout, sp)
 			report.WriteAttribution(os.Stdout, sd.Attribution(sp))
+			if rc.precTable {
+				printPrecisionTable(sp, journal.ConfigHash(e.Config), rc.relErr, rc.conf)
+			}
 			return nil
 		}
 	} else if e.DigestIntervalNS > 0 {
@@ -451,6 +493,9 @@ func run(e varsim.Experiment, rc runCfg) error {
 		}
 		report.WriteSpace(os.Stdout, sp)
 		report.WriteAttribution(os.Stdout, att)
+		if rc.precTable {
+			printPrecisionTable(sp, journal.ConfigHash(e.Config), rc.relErr, rc.conf)
+		}
 		return nil
 	} else {
 		var err error
@@ -468,6 +513,9 @@ func run(e varsim.Experiment, rc runCfg) error {
 		}
 	}
 	report.WriteSpace(os.Stdout, sp)
+	if rc.precTable {
+		printPrecisionTable(sp, journal.ConfigHash(e.Config), rc.relErr, rc.conf)
+	}
 	return nil
 }
 

@@ -185,6 +185,16 @@ type Resilience struct {
 	// finish and are journaled, unstarted runs are reported in
 	// Space.Missing.
 	Stop <-chan struct{}
+	// Observe, when non-nil, sees every successful run's result — live
+	// from the worker that settled it, and replayed for cache hits (both
+	// per-run hits and whole-space CachedSpace replays), so a resumed
+	// experiment feeds the same observations a fresh one would. It is a
+	// pure observer for the precision observatory (internal/precision):
+	// it must never feed anything back into the simulation, and because
+	// live calls arrive in host completion order, its state is not part
+	// of the byte-identical output contract. Implementations must be
+	// safe for concurrent calls.
+	Observe func(key journal.Key, r machine.Result)
 	// TestHook injects scripted faults (internal/faultinject); tests
 	// only, nil on every production path.
 	TestHook fleet.TestHook
@@ -194,7 +204,7 @@ type Resilience struct {
 // plain path stays exactly the historical BranchSpace.
 func (r Resilience) enabled() bool {
 	return r.Journal != nil || r.Cache != nil || r.JobTimeout > 0 ||
-		r.Retries > 0 || r.Stop != nil || r.TestHook != nil
+		r.Retries > 0 || r.Stop != nil || r.TestHook != nil || r.Observe != nil
 }
 
 // Validate checks the experiment definition.
@@ -300,6 +310,14 @@ func (e Experiment) CachedSpace() (Space, bool) {
 		}
 		sp.Values[i] = sp.Results[i].CPT
 	}
+	// A whole-space replay never reaches the fleet, so feed the precision
+	// observer here, in run-index order — only after every record decoded,
+	// so a fallthrough to the normal path cannot double-observe.
+	if e.Resilience.Observe != nil {
+		for i := range sp.Results {
+			e.Resilience.Observe(branchKey(e.Label, cfgHash, e.SeedBase, i), sp.Results[i])
+		}
+	}
 	return sp, true
 }
 
@@ -332,17 +350,19 @@ func BranchSpaceRes(checkpoint *machine.Machine, label string, n int, measureTxn
 	if n <= 0 {
 		return sp, nil
 	}
+	cfgHash := journal.ConfigHash(checkpoint.Config())
 	opts := fleet.Options[machine.Result]{
 		Workers:  fleet.Width(workers),
 		Timeout:  res.JobTimeout,
 		Retries:  res.Retries,
 		Stop:     res.Stop,
 		TestHook: res.TestHook,
+		Labels:   []string{"experiment", label, "config", cfgHash},
 	}
-	cfgHash := journal.ConfigHash(checkpoint.Config())
 	if res.Cache != nil {
 		opts.Cached = func(i int) (machine.Result, bool) {
-			rec, ok := res.Cache.Get(branchKey(label, cfgHash, seedBase, i))
+			key := branchKey(label, cfgHash, seedBase, i)
+			rec, ok := res.Cache.Get(key)
 			if !ok {
 				return machine.Result{}, false
 			}
@@ -350,15 +370,24 @@ func BranchSpaceRes(checkpoint *machine.Machine, label string, n int, measureTxn
 			if err := json.Unmarshal(rec.Result, &r); err != nil {
 				return machine.Result{}, false // undecodable hit: re-run
 			}
+			// Cache hits bypass OnResult, so replays feed the precision
+			// observer here — a resumed space observes every run once.
+			if res.Observe != nil {
+				res.Observe(key, r)
+			}
 			return r, true
 		}
 	}
-	if res.Journal != nil {
+	if res.Journal != nil || res.Observe != nil {
 		opts.OnResult = func(i, attempts int, v machine.Result, err error) {
-			rec := journal.Record{
-				Key:      branchKey(label, cfgHash, seedBase, i),
-				Attempts: attempts,
+			key := branchKey(label, cfgHash, seedBase, i)
+			if err == nil && res.Observe != nil {
+				res.Observe(key, v)
 			}
+			if res.Journal == nil {
+				return
+			}
+			rec := journal.Record{Key: key, Attempts: attempts}
 			if err != nil {
 				rec.Status = journal.StatusFailed
 				rec.Error = err.Error()

@@ -87,14 +87,15 @@ func BranchSpaceDigests(checkpoint *machine.Machine, label string, n int, measur
 		sp, err := BranchSpaceRes(checkpoint, label, n, measureTxns, seedBase, workers, res)
 		return sp, sd, err
 	}
+	cfgHash := journal.ConfigHash(checkpoint.Config())
 	opts := fleet.Options[runDigested]{
 		Workers:  fleet.Width(workers),
 		Timeout:  res.JobTimeout,
 		Retries:  res.Retries,
 		Stop:     res.Stop,
 		TestHook: res.TestHook,
+		Labels:   []string{"experiment", label, "config", cfgHash},
 	}
-	cfgHash := journal.ConfigHash(checkpoint.Config())
 	if res.Cache != nil {
 		opts.Cached = func(i int) (runDigested, bool) {
 			key := branchKey(label, cfgHash, seedBase, i)
@@ -117,12 +118,23 @@ func BranchSpaceDigests(checkpoint *machine.Machine, label string, n int, measur
 			if rd.Dig.IntervalNS != intervalNS {
 				return runDigested{}, false // cadence changed: re-run
 			}
+			// Cache hits bypass OnResult; replays feed the precision
+			// observer here, like BranchSpaceRes.
+			if res.Observe != nil {
+				res.Observe(key, rd.Res)
+			}
 			return rd, true
 		}
 	}
-	if res.Journal != nil {
+	if res.Journal != nil || res.Observe != nil {
 		opts.OnResult = func(i, attempts int, v runDigested, err error) {
 			key := branchKey(label, cfgHash, seedBase, i)
+			if err == nil && res.Observe != nil {
+				res.Observe(key, v.Res)
+			}
+			if res.Journal == nil {
+				return
+			}
 			rec := journal.Record{Key: key, Attempts: attempts}
 			if err != nil {
 				rec.Status = journal.StatusFailed
@@ -223,6 +235,13 @@ func (e Experiment) CachedSpaceDigests() (Space, SpaceDigests, bool) {
 			return Space{}, SpaceDigests{}, false
 		}
 		sd.Series[i] = s
+	}
+	// Whole-space replays bypass the fleet; feed the precision observer
+	// in run-index order once every record has decoded (as CachedSpace).
+	if e.Resilience.Observe != nil {
+		for i := range sp.Results {
+			e.Resilience.Observe(branchKey(e.Label, cfgHash, e.SeedBase, i), sp.Results[i])
+		}
 	}
 	return sp, sd, true
 }

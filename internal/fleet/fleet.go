@@ -32,6 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"varsim/internal/profile"
 )
 
 // DefaultWorkers is the fleet width used when a caller passes
@@ -168,6 +170,12 @@ type Options[T any] struct {
 	// journal appends; implementations must be safe for concurrent
 	// calls (journal.Writer serializes internally).
 	OnResult func(i, attempts int, v T, err error)
+	// Labels, when non-empty, are pprof labels ("key", "value", ...)
+	// attached to every job attempt via profile.Do, so a -cpuprofile
+	// attributes host CPU per experiment/configuration instead of
+	// lumping every job under the worker loop. Labels never touch job
+	// inputs or the merge, so they cannot perturb results.
+	Labels []string
 	// Stop, when non-nil, is the graceful-drain signal: once it is
 	// closed, no new jobs (and no further retries) are handed out,
 	// in-flight attempts run to completion and are journaled, and Run
@@ -238,7 +246,12 @@ func Run[T any](opts Options[T], n int, job func(int) (T, error)) ([]T, error) {
 			}
 		}
 		busyWorkers.Add(1)
-		v, attempts, err := runAttempts(&opts, i, job)
+		var v T
+		var attempts int
+		var err error
+		profile.Do(opts.Labels, func() {
+			v, attempts, err = runAttempts(&opts, i, job)
+		})
 		busyWorkers.Add(-1)
 		if opts.TestHook != nil {
 			opts.TestHook.AfterJob(i)

@@ -17,6 +17,7 @@ func TestDetwall(t *testing.T) {
 		"varsim/internal/journal/journalok",
 		"varsim/internal/faultinject/faultok",
 		"varsim/internal/digest/digestwall",
+		"varsim/internal/precision/precisionok",
 	)
 }
 
@@ -32,6 +33,7 @@ func TestInsideWall(t *testing.T) {
 		"varsim/internal/fleet/sub":    false,
 		"varsim/internal/journal":      false, // durable I/O records results, it never feeds them
 		"varsim/internal/faultinject":  false, // test-only fault hooks race the host on purpose
+		"varsim/internal/precision":    false, // pure observer of fleet completions, feeds nothing back
 		"varsim/internal/memx":         false, // prefix must match a path segment
 		"varsim/internal/lint/detwall": false,
 	} {

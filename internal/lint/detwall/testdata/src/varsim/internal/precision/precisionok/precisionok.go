@@ -1,0 +1,41 @@
+// Package precisionok mirrors the real internal/precision tracker: a
+// mutex-guarded observer *outside* the determinism wall. detwall must
+// stay silent here — the tracker is fed from fleet completion hooks in
+// host order and feeds nothing back into the simulation, so it may use
+// goroutine-shared state freely (docs/OBSERVABILITY.md). This fixture
+// pins that boundary: if precision is ever added to wallPrefixes by
+// accident, this file starts failing.
+package precisionok
+
+import "sync"
+
+// Tracker accumulates observations from concurrent fleet workers,
+// like precision.Tracker.
+type Tracker struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+// Observe records one completion under the lock.
+func (t *Tracker) Observe(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == nil {
+		t.n = map[string]int{}
+	}
+	t.n[key]++
+}
+
+// Feed fans observations in from worker goroutines, the shape the real
+// tracker sees from fleet's OnResult hook.
+func Feed(t *Tracker, keys []string) {
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			t.Observe(k)
+		}(k)
+	}
+	wg.Wait()
+}

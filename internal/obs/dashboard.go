@@ -1,10 +1,12 @@
 package obs
 
 // dashboardHTML is the embedded live dashboard: it polls /series,
-// /status and /divergence once a second and charts derived
+// /status, /divergence and /precision once a second and charts derived
 // per-interval series (IPC, L2 miss rate, simulated-cycle throughput)
-// as inline SVG, plus the cross-run divergence attribution — no
-// external assets, so it works offline and inside CI artifacts.
+// as inline SVG, plus the cross-run divergence attribution and the
+// precision-convergence table (half-width-vs-runs sparkline per
+// configuration) — no external assets, so it works offline and inside
+// CI artifacts.
 const dashboardHTML = `<!doctype html>
 <html lang="en">
 <head>
@@ -30,6 +32,7 @@ const dashboardHTML = `<!doctype html>
 <div id="status" class="empty">waiting for /status…</div>
 <div id="charts"></div>
 <div class="chart"><h2>divergence</h2><div id="divergence" class="empty">no divergence data</div></div>
+<div class="chart"><h2>precision convergence</h2><div id="precision" class="empty">no precision data</div></div>
 <div class="chart"><h2>experiments</h2><div id="fleet" class="empty">no fleet</div></div>
 <script>
 "use strict";
@@ -126,16 +129,39 @@ function renderDivergence(d) {
   }
   el.innerHTML = html;
 }
+function renderPrecision(p) {
+  const el = document.getElementById("precision");
+  if (!p || !p.rows || !p.rows.length) { el.className = "empty"; el.textContent = "no precision data"; return; }
+  el.className = "";
+  let html = "target ±" + (100 * p.rel_err).toPrecision(2) + "% at " +
+    (100 * p.confidence).toPrecision(3) + "% confidence" +
+    "<table><tr><th>experiment</th><th>config</th><th>metric</th><th>n</th><th>achieved</th><th>to go</th><th>half-width vs runs</th></tr>";
+  for (const r of p.rows) {
+    const cls = r.insufficient ? "empty" : r.converged ? "done" : "running";
+    const ach = r.insufficient ? "n&lt;2" : "±" + r.rel_half_width_pct.toPrecision(3) + "%";
+    const togo = r.insufficient ? "?" : (r.runs_to_go || 0);
+    const spark = r.history && r.history.length > 1
+      ? '<svg viewBox="0 0 120 24" preserveAspectRatio="none" style="width:120px;height:24px"><polyline points="' +
+        polyline(r.history, 120, 24) + '"/></svg>'
+      : "";
+    html += "<tr><td>" + r.experiment + "</td><td>" + (r.config_hash || "").slice(0, 8) +
+      "</td><td>" + r.metric + "</td><td>" + r.n + '</td><td class="' + cls + '">' + ach +
+      "</td><td>" + togo + "</td><td>" + spark + "</td></tr>";
+  }
+  el.innerHTML = html + "</table>";
+}
 async function tick() {
   try {
-    const [sr, st, dv] = await Promise.all([
+    const [sr, st, dv, pr] = await Promise.all([
       fetch("/series").then(r => r.json()),
       fetch("/status").then(r => r.json()),
       fetch("/divergence").then(r => r.json()),
+      fetch("/precision").then(r => r.json()),
     ]);
     render(sr);
     renderFleet(st);
     renderDivergence(dv);
+    renderPrecision(pr);
     const s = document.getElementById("status");
     s.className = "";
     s.textContent = st.total

@@ -11,23 +11,26 @@ import (
 	"time"
 
 	"varsim/internal/metrics"
+	"varsim/internal/precision"
 )
 
 // Options wires a Server's data sources; any may be nil — the
 // corresponding endpoints then serve empty-but-valid payloads.
 type Options struct {
-	Publisher *Publisher   // /metrics values, /series, dashboard charts
-	Fleet     *Fleet       // /status, fleet gauges on /metrics
-	SimCycles func() int64 // process-wide simulated-cycle counter
+	Publisher *Publisher         // /metrics values, /series, dashboard charts
+	Fleet     *Fleet             // /status, fleet gauges on /metrics
+	SimCycles func() int64       // process-wide simulated-cycle counter
+	Precision *precision.Tracker // /precision, precision gauges on /metrics
 }
 
 // Server is the observability HTTP server. Endpoints:
 //
-//	/           embedded dashboard (polls /series, /status, /divergence)
+//	/           embedded dashboard (polls /series, /status, /divergence, /precision)
 //	/metrics    Prometheus text exposition (version 0.0.4)
 //	/status     fleet progress JSON (FleetStatus)
 //	/series     sampled metric time series JSON (metrics.TimeSeries)
 //	/divergence cross-run divergence attribution JSON (digest.Attribution)
+//	/precision  streaming precision report JSON (precision.Report)
 //	/debug/pprof/...  Go's runtime profiler
 type Server struct {
 	opt   Options
@@ -46,6 +49,7 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/series", s.handleSeries)
 	s.mux.HandleFunc("/divergence", s.handleDivergence)
+	s.mux.HandleFunc("/precision", s.handlePrecision)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -167,6 +171,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if rep := s.opt.Precision.Report(); len(rep.Rows) > 0 {
+		converged := 0
+		for _, row := range rep.Rows {
+			if row.Converged {
+				converged++
+			}
+		}
+		write("varsim_precision_target_rel_err_pct", "gauge", 100*rep.RelErr)
+		write("varsim_precision_tracked", "gauge", float64(len(rep.Rows)))
+		write("varsim_precision_converged", "gauge", float64(converged))
+		fmt.Fprintf(w, "# TYPE varsim_precision_runs gauge\n")
+		for _, row := range rep.Rows {
+			fmt.Fprintf(w, "varsim_precision_runs{experiment=%q,config=%q,metric=%q} %d\n",
+				row.Experiment, row.ConfigHash, row.Metric, row.N)
+		}
+		fmt.Fprintf(w, "# TYPE varsim_precision_rel_half_width_pct gauge\n")
+		for _, row := range rep.Rows {
+			if row.Insufficient {
+				continue // no interval yet; never export a placeholder
+			}
+			fmt.Fprintf(w, "varsim_precision_rel_half_width_pct{experiment=%q,config=%q,metric=%q} %s\n",
+				row.Experiment, row.ConfigHash, row.Metric,
+				strconv.FormatFloat(row.RelHalfWidthPct, 'g', -1, 64))
+		}
+		fmt.Fprintf(w, "# TYPE varsim_precision_runs_to_go gauge\n")
+		for _, row := range rep.Rows {
+			if row.Insufficient {
+				continue
+			}
+			fmt.Fprintf(w, "varsim_precision_runs_to_go{experiment=%q,config=%q,metric=%q} %d\n",
+				row.Experiment, row.ConfigHash, row.Metric, row.RunsToGo)
+		}
+	}
 	snap, kinds := s.opt.Publisher.Snapshot()
 	for _, name := range snap.Names() {
 		kind := ""
@@ -193,6 +230,13 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDivergence(w http.ResponseWriter, r *http.Request) {
 	att, _ := s.opt.Publisher.Divergence()
 	writeJSON(w, att)
+}
+
+// handlePrecision serves the streaming precision report; with no
+// tracker wired (or nothing observed yet) it serves an empty report
+// with a rows array, which clients read as "no precision data yet".
+func (s *Server) handlePrecision(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.opt.Precision.Report())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -16,6 +16,7 @@ import (
 	"varsim/internal/digest"
 	"varsim/internal/harness"
 	"varsim/internal/metrics"
+	"varsim/internal/precision"
 )
 
 func get(t *testing.T, url string) (string, http.Header) {
@@ -369,5 +370,89 @@ func TestNilSourcesServeEmpty(t *testing.T) {
 	var att digest.Attribution
 	if err := json.Unmarshal([]byte(body), &att); err != nil || att.Runs != 0 {
 		t.Errorf("nil-publisher /divergence invalid: %v %v", err, att)
+	}
+}
+
+// TestPrecisionEndpointAndMetrics drives the precision observatory's
+// HTTP surface: an empty-but-valid report with no tracker wired, an
+// insufficient (n<2) row with no CI fields, non-finite observation
+// rejection, and the varsim_precision_* gauges once intervals exist.
+func TestPrecisionEndpointAndMetrics(t *testing.T) {
+	// Nil tracker: still valid JSON with a rows array, and no
+	// precision gauges on /metrics.
+	ts := httptest.NewServer(NewServer(Options{}).Handler())
+	body, hdr := get(t, ts.URL+"/precision")
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var rep precision.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/precision with nil tracker is not valid JSON: %v\n%s", err, body)
+	}
+	if rep.Rows == nil || len(rep.Rows) != 0 {
+		t.Errorf("nil-tracker report rows = %#v, want empty array", rep.Rows)
+	}
+	if mb, _ := get(t, ts.URL+"/metrics"); strings.Contains(mb, "varsim_precision") {
+		t.Error("/metrics exports precision gauges with no tracker")
+	}
+	ts.Close()
+
+	trk := precision.New(0.04, 0.95)
+	ts = httptest.NewServer(NewServer(Options{Precision: trk}).Handler())
+	defer ts.Close()
+
+	// One run plus rejected non-finite observations: an insufficient
+	// row whose JSON carries counts but no interval fields.
+	trk.Observe("table1", "cfgA", "cpt", 250)
+	if err := trk.Observe("table1", "cfgA", "cpt", math.NaN()); err == nil {
+		t.Fatal("tracker accepted NaN")
+	}
+	if err := trk.Observe("table1", "cfgA", "cpt", math.Inf(1)); err == nil {
+		t.Fatal("tracker accepted +Inf")
+	}
+	body, _ = get(t, ts.URL+"/precision")
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/precision is not valid JSON: %v\n%s", err, body)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1\n%s", len(rep.Rows), body)
+	}
+	if r := rep.Rows[0]; !r.Insufficient || r.N != 1 || r.Rejected != 2 {
+		t.Errorf("single-run row = %+v, want insufficient with n=1 rejected=2", r)
+	}
+	if strings.Contains(body, "NaN") || strings.Contains(body, "Inf") {
+		t.Errorf("/precision leaked a non-finite value:\n%s", body)
+	}
+	mb, _ := get(t, ts.URL+"/metrics")
+	if !strings.Contains(mb, `varsim_precision_runs{experiment="table1",config="cfgA",metric="cpt"} 1`) {
+		t.Errorf("/metrics missing run-count gauge:\n%s", mb)
+	}
+	if strings.Contains(mb, "varsim_precision_rel_half_width_pct{") {
+		t.Errorf("/metrics exports a half-width for an insufficient row:\n%s", mb)
+	}
+
+	// More runs: the row gains a CI and the labeled gauges appear.
+	for _, v := range []float64{251, 249, 250.5, 249.5, 250.2} {
+		trk.Observe("table1", "cfgA", "cpt", v)
+	}
+	body, _ = get(t, ts.URL+"/precision")
+	rep = precision.Report{} // fields omitted by omitempty must not linger
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Rows[0]
+	if r.Insufficient || r.N != 6 || r.RelHalfWidthPct <= 0 || len(r.History) != 5 {
+		t.Errorf("converging row = %+v", r)
+	}
+	mb, _ = get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"varsim_precision_target_rel_err_pct 4",
+		"varsim_precision_tracked 1",
+		`varsim_precision_rel_half_width_pct{experiment="table1",config="cfgA",metric="cpt"}`,
+		`varsim_precision_runs_to_go{experiment="table1",config="cfgA",metric="cpt"}`,
+	} {
+		if !strings.Contains(mb, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mb)
+		}
 	}
 }

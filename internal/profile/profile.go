@@ -5,6 +5,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -62,6 +63,20 @@ func Start(cpuPath, tracePath string) (stop func() error, err error) {
 		}
 		return firstErr
 	}, nil
+}
+
+// Do runs fn with the given pprof labels ("key", "value", ...)
+// attached to the calling goroutine (and any it spawns), so a
+// -cpuprofile breaks host time down per label — the fleet uses it to
+// attribute samples to the experiment and configuration that spent
+// them. A nil, empty or malformed (odd-length) label set runs fn
+// unlabeled rather than panicking the way pprof.Labels would.
+func Do(labels []string, fn func()) {
+	if len(labels) < 2 || len(labels)%2 != 0 {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) { fn() })
 }
 
 // WriteHeap writes an up-to-date heap profile to path.

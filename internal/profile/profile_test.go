@@ -63,3 +63,22 @@ func TestWriteHeap(t *testing.T) {
 		t.Error("heap profile is empty")
 	}
 }
+
+func TestDoAppliesLabels(t *testing.T) {
+	// Do must run fn exactly once for every label shape, panicking for
+	// none of them — pprof.Labels itself panics on an odd count, which is
+	// exactly what the guard absorbs.
+	for _, labels := range [][]string{
+		nil,
+		{},
+		{"experiment"}, // malformed: odd count
+		{"experiment", "table1"},
+		{"experiment", "table1", "config", "abc123"},
+	} {
+		ran := false
+		Do(labels, func() { ran = true })
+		if !ran {
+			t.Errorf("Do(%v) did not run fn", labels)
+		}
+	}
+}

@@ -32,6 +32,7 @@ type Heartbeat struct {
 	simStart  int64
 	jobs      func() fleet.Stats
 	journal   func() journal.Stats
+	precision func() string
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -117,6 +118,12 @@ func (h *Heartbeat) Advance(n int) { h.done.Add(int64(n)) }
 // the line when a journal is active. Call before the first beat.
 func (h *Heartbeat) TrackJournal(fn func() journal.Stats) { h.journal = fn }
 
+// TrackPrecision wires the precision observatory's one-line summary
+// (normally precision.Tracker.Summary) into the heartbeat: achieved
+// versus requested precision, updated as runs settle. An empty summary
+// leaves the line untouched. Call before the first beat.
+func (h *Heartbeat) TrackPrecision(fn func() string) { h.precision = fn }
+
 // Line renders the current progress line.
 func (h *Heartbeat) Line() string {
 	done := h.done.Load()
@@ -148,6 +155,11 @@ func (h *Heartbeat) Line() string {
 			if j.Hits > 0 {
 				s += fmt.Sprintf(", %d replayed", j.Hits)
 			}
+		}
+	}
+	if h.precision != nil {
+		if p := h.precision(); p != "" {
+			s += ", " + p
 		}
 	}
 	if h.total > 0 && done > 0 && done < int64(h.total) {

@@ -70,6 +70,86 @@ func FuzzCI(f *testing.F) {
 	})
 }
 
+// FuzzStream pins the streaming accumulator's contract against the
+// batch procedures it mirrors: Add never panics and rejects exactly
+// the non-finite observations; a nil-error CI is finite and ordered;
+// and wherever the batch pipeline stays comfortably finite, the
+// streaming mean agrees with it (to a tolerance scaled by the sample's
+// magnitude — one-pass and two-pass summation order their roundings
+// differently, but both are bounded by n·eps·max|x|).
+func FuzzStream(f *testing.F) {
+	f.Add(bytesFromFloats(100, 101, 99, 102), 0.95)
+	f.Add(bytesFromFloats(1), 0.95)
+	f.Add([]byte{}, 0.95)
+	f.Add(bytesFromFloats(math.NaN(), 1, 2), 0.95)
+	f.Add(bytesFromFloats(math.Inf(1), 1, 2), 0.99)
+	f.Add(bytesFromFloats(math.MaxFloat64, -math.MaxFloat64, math.MaxFloat64), 0.95)
+	f.Add(bytesFromFloats(0, 0, 0), 0.5)
+	f.Add(bytesFromFloats(250, 251, 249, 250.5, 249.5), 1.5) // invalid confidence
+
+	f.Fuzz(func(t *testing.T, data []byte, confidence float64) {
+		xs := floatsFromBytes(data)
+		var s Stream
+		accepted := xs[:0:0]
+		for _, x := range xs {
+			err := s.Add(x) // must never panic
+			if bad := math.IsNaN(x) || math.IsInf(x, 0); bad != (err != nil) {
+				t.Fatalf("Add(%v) error = %v, want rejection=%v", x, err, bad)
+			}
+			if err == nil {
+				accepted = append(accepted, x)
+			}
+		}
+		if s.N() != len(accepted) {
+			t.Fatalf("N = %d after %d accepted observations", s.N(), len(accepted))
+		}
+		ci, err := s.CI(confidence)
+		if len(accepted) < 2 || !(confidence > 0 && confidence < 1) {
+			if err == nil {
+				t.Fatalf("stream CI accepted a degenerate request (n=%d, conf=%v)", len(accepted), confidence)
+			}
+			return
+		}
+		if err == nil {
+			for name, v := range map[string]float64{
+				"Mean": ci.Mean, "Lo": ci.Lo, "Hi": ci.Hi, "HalfWidth": ci.HalfWidth,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("stream CI returned nil error but non-finite %s for %v", name, accepted)
+				}
+			}
+			if ci.Lo > ci.Hi {
+				t.Fatalf("stream CI returned inverted interval [%g, %g]", ci.Lo, ci.Hi)
+			}
+		}
+		// Batch agreement on the mean, wherever the two-pass pipeline is
+		// itself comfortably finite.
+		batch, berr := CI(accepted, confidence)
+		if berr != nil || math.IsInf(batch.HalfWidth, 0) {
+			return
+		}
+		maxAbs := 1.0
+		for _, x := range accepted {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		n := float64(len(accepted))
+		tol := 64 * n * n * 1e-16 * maxAbs
+		if err != nil {
+			// The stream may reject on internal overflow where the batch
+			// squeaked through; it must not do so for tame inputs.
+			if maxAbs < 1e100 {
+				t.Fatalf("stream CI errored (%v) where batch succeeded for %v", err, accepted)
+			}
+			return
+		}
+		if d := math.Abs(ci.Mean - batch.Mean); d > tol {
+			t.Fatalf("stream mean %v vs batch %v (diff %g > tol %g) for %v", ci.Mean, batch.Mean, d, tol, accepted)
+		}
+	})
+}
+
 // FuzzANOVA pins OneWayANOVA's input contract over two fuzzed groups:
 // never panic, reject NaN/Inf observations and degenerate shapes with
 // an error, and return finite statistics (with P in [0,1]) otherwise.
