@@ -3,10 +3,15 @@
 # concurrency-sensitive state (the event kernel, the worker-fleet
 # scheduler, the metrics registry and its process-wide cycle counter,
 # the heartbeat goroutine, the trace buffer, the live observability
-# server, and the crash-safety layer: the result journal, the fault
-# injector and the core resume path above them). `make lint` runs
-# varsimlint, the determinism-contract analyzer suite (detwall,
-# seedflow, maporder, kindexhaust) — see docs/DETERMINISM.md.
+# server, the crash-safety layer: the result journal, the fault
+# injector and the core resume path above them — and the lint call
+# graph, whose builder tests run concurrent type-checks). `make lint`
+# runs varsimlint, the determinism-contract analyzer suite (detwall,
+# puritywall, seedflow, maporder, kindexhaust inside the wall;
+# synccheck, stickyerr, floatorder outside it; staleallow auditing the
+# suppressions themselves) against the checked-in lint.baseline.json —
+# see docs/DETERMINISM.md. `make lint-sarif` writes the same run as
+# SARIF 2.1.0 to lint.sarif for CI upload and code-scanning ingestion.
 # `make bench-json` records the fleet scheduler's
 # sequential-vs-parallel cost to BENCH_parallel.json. `make fuzz-smoke`
 # runs each native fuzz target briefly over its committed corpus — the
@@ -16,7 +21,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-json bench-digest vet lint race fuzz-smoke check clean
+.PHONY: all build test bench bench-json bench-digest vet lint lint-sarif lint-baseline race fuzz-smoke check clean
 
 all: build
 
@@ -49,10 +54,19 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/varsimlint ./...
+	$(GO) run ./cmd/varsimlint -baseline lint.baseline.json ./...
+
+# SARIF artifact for CI upload / GitHub code scanning.
+lint-sarif:
+	$(GO) run ./cmd/varsimlint -baseline lint.baseline.json -format sarif -o lint.sarif ./...
+
+# Regenerate the accepted-findings baseline (review the diff before
+# committing: every new entry is accepted debt).
+lint-baseline:
+	$(GO) run ./cmd/varsimlint -baseline lint.baseline.json -write-baseline ./...
 
 race:
-	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs ./internal/journal ./internal/faultinject ./internal/core ./internal/precision
+	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs ./internal/journal ./internal/faultinject ./internal/core ./internal/precision ./internal/lint/callgraph
 
 # Go's fuzzer accepts one target per invocation; each run seeds from the
 # committed corpus under the package's testdata/fuzz and then mutates

@@ -164,7 +164,7 @@ func main() {
 		schedTr: *schedTr, lockRep: *lockRep,
 		saveRcp: *saveRcp, fromRcp: *fromRcp,
 		intervalUS: *intervalUS, seriesCSV: *seriesCSV, seriesJSONL: *seriesJSONL,
-		perfetto: *perfetto,
+		perfetto:  *perfetto,
 		precTable: *precTable, relErr: *relErrF, conf: *confF,
 	}
 	if *httpAddr != "" {

@@ -3,41 +3,60 @@
 //
 // Usage:
 //
-//	varsimlint [-analyzers a,b,...] [packages]
+//	varsimlint [flags] [packages]
 //
 // Packages default to ./... and use go list pattern syntax. The exit
-// status is 0 when the tree is clean, 1 when findings are reported and
-// 2 on usage or load errors.
+// status is 0 when the tree is clean (after baseline subtraction), 1
+// when findings are reported and 2 on usage or load errors.
 //
 // The suite enforces the determinism contract described in
-// docs/DETERMINISM.md: detwall (no wall clocks, global rand, env reads,
-// goroutines or select inside the simulation core), seedflow (all RNG
-// construction flows through varsim/internal/rng), maporder (no
-// map-iteration order leaking into results), and kindexhaust (switches
-// over Kind enums cover every variant or panic). Suppressions use
-// `//varsim:allow <analyzer> <reason>` on or immediately above the
-// offending line.
+// docs/DETERMINISM.md. Inside the wall: detwall (no wall clocks, global
+// rand, env reads, goroutines or select in the simulation core, by
+// package import), puritywall (the same sinks traced transitively
+// through the cross-package call graph, with the full offending call
+// path), seedflow (all RNG construction flows through
+// varsim/internal/rng), maporder (no map-iteration order leaking into
+// results), and kindexhaust (switches over Kind enums cover every
+// variant or panic). Outside the wall: synccheck (sync primitives
+// copied by value, WaitGroup.Add races, locks held across channel
+// sends), stickyerr (discarded journal/fleet errors), and floatorder
+// (float accumulation in completion order). staleallow audits
+// `//varsim:allow <analyzer> <reason>` directives that no longer
+// suppress anything.
+//
+// Output formats: -format text (default), json, sarif (SARIF 2.1.0),
+// or github (GitHub Actions workflow annotations). -baseline subtracts
+// a checked-in accepted-findings file; -write-baseline regenerates it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"varsim/internal/lint"
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/baseline"
+	"varsim/internal/lint/sarif"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("varsimlint", flag.ContinueOnError)
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json, sarif, github")
+	baselinePath := fs.String("baseline", "", "subtract findings recorded in this baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to -baseline and exit 0")
+	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: varsimlint [-analyzers a,b,...] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: varsimlint [-analyzers a,b,...] [-format text|json|sarif|github] [-baseline file [-write-baseline]] [-o file] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -47,7 +66,7 @@ func run(args []string) int {
 	}
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
 		}
 		return 0
 	}
@@ -75,14 +94,99 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "varsimlint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "varsimlint: -write-baseline requires -baseline")
+			return 2
+		}
+		if err := baseline.New(findings).Save(*baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "varsimlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "varsimlint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		base, err := baseline.Load(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varsimlint: %v\n", err)
+			return 2
+		}
+		var stale []baseline.Entry
+		findings, stale = base.Filter(findings)
+		for _, e := range stale {
+			// Stale entries warn rather than fail: the finding they
+			// accepted got fixed, so the baseline wants regenerating.
+			fmt.Fprintf(os.Stderr, "varsimlint: baseline entry %s (%s in %s) matched nothing; regenerate with -write-baseline\n", e.ID, e.Analyzer, e.File)
+		}
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varsimlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if err := emit(out, *format, analyzers, findings); err != nil {
+		fmt.Fprintf(os.Stderr, "varsimlint: %v\n", err)
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "varsimlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// emit renders findings in the requested format. SARIF is emitted even
+// when the run is clean (an empty results array is how CI consumers
+// distinguish "clean" from "did not run").
+func emit(w io.Writer, format string, analyzers []*analysis.Analyzer, findings []lint.Finding) error {
+	switch format {
+	case "text":
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+	case "json":
+		doc := struct {
+			Findings []lint.Finding `json:"findings"`
+		}{Findings: findings}
+		if doc.Findings == nil {
+			doc.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	case "sarif":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sarif.Convert(analyzers, findings))
+	case "github":
+		// GitHub Actions workflow commands: each finding becomes an
+		// inline annotation on the PR diff.
+		for _, f := range findings {
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=varsimlint %s::%s\n",
+				f.File, f.Pos.Line, f.Pos.Column, f.Analyzer, escapeGitHub(f.Message))
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want text, json, sarif or github)", format)
+	}
+	return nil
+}
+
+// escapeGitHub applies the workflow-command data escaping rules.
+func escapeGitHub(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 func firstLine(s string) string {

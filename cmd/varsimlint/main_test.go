@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedModule writes a scratch module with one maporder violation and
+// chdirs into it for the duration of the test (run() lints the
+// current directory).
+func seedModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tempmod\n\ngo 1.22\n")
+	write("bad.go", `package tempmod
+
+// Keys leaks map iteration order into a slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	return dir
+}
+
+func TestTextFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	seedModule(t)
+	var out bytes.Buffer
+	if code := run([]string{"./..."}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[maporder]") {
+		t.Errorf("text output missing finding:\n%s", out.String())
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	seedModule(t)
+	var out bytes.Buffer
+	if code := run([]string{"-format", "json", "./..."}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Findings []struct {
+			ID       string `json:"id"`
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(doc.Findings))
+	}
+	f := doc.Findings[0]
+	if f.Analyzer != "maporder" || f.File != "bad.go" || f.ID == "" {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestGitHubFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	seedModule(t)
+	var out bytes.Buffer
+	if code := run([]string{"-format", "github", "./..."}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	line := strings.TrimSpace(out.String())
+	if !strings.HasPrefix(line, "::error file=bad.go,line=6,") {
+		t.Errorf("annotation = %q", line)
+	}
+	if !strings.Contains(line, "title=varsimlint maporder") {
+		t.Errorf("annotation missing title: %q", line)
+	}
+}
+
+func TestSarifFormatAndOutputFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := seedModule(t)
+	var out bytes.Buffer
+	path := filepath.Join(dir, "lint.sarif")
+	if code := run([]string{"-format", "sarif", "-o", path, "./..."}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("sarif output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Errorf("sarif shape: %s", data)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-o leaked output to stdout: %q", out.String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := seedModule(t)
+	base := filepath.Join(dir, "lint.baseline.json")
+
+	var out bytes.Buffer
+	if code := run([]string{"-baseline", base, "-write-baseline", "./..."}, &out); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0", code)
+	}
+	// With the finding baselined, the same tree is clean.
+	out.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &out); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\n%s", code, out.String())
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Errorf("baselined run printed findings:\n%s", out.String())
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	seedModule(t)
+	var out bytes.Buffer
+	if code := run([]string{"-format", "yaml", "./..."}, &out); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

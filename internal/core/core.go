@@ -400,6 +400,7 @@ func BranchSpaceRes(checkpoint *machine.Machine, label string, n int, measureTxn
 			}
 			// Append errors are sticky on the writer; the CLIs check
 			// Writer.Err() at teardown rather than failing runs here.
+			//varsim:allow stickyerr fire-and-forget by design: Writer.Err is checked at CLI teardown
 			res.Journal.Append(rec)
 		}
 	}

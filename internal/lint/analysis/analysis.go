@@ -32,8 +32,17 @@ type Analyzer struct {
 
 	// Run executes the check over one package and reports findings via
 	// pass.Report / pass.Reportf. The returned value is unused by the
-	// driver today but kept for x/tools API compatibility.
+	// driver today but kept for x/tools API compatibility. Nil for
+	// program-level and driver-level analyzers.
 	Run func(pass *Pass) (interface{}, error)
+
+	// RunProgram, when non-nil, marks a whole-program analyzer: the
+	// driver calls it exactly once with every loaded package instead of
+	// once per package. Cross-package analyses (the puritywall call
+	// graph) need simultaneous access to all function bodies, which the
+	// per-package Pass cannot provide. (x/tools models this with Facts;
+	// this offline subset passes the loaded program directly.)
+	RunProgram func(pass *ProgramPass) (interface{}, error)
 }
 
 // Pass provides one analyzer with one type-checked package and a sink
@@ -56,6 +65,33 @@ type Pass struct {
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ProgramPackage is one loaded package inside a ProgramPass: the same
+// information a per-package Pass carries, minus the analyzer wiring.
+type ProgramPackage struct {
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// ProgramPass provides a whole-program analyzer with every loaded
+// package at once, in deterministic (dependency) order, sharing one
+// file set. Diagnostics may anchor anywhere in any package; the driver
+// applies //varsim:allow suppression by position exactly as it does
+// for per-package passes.
+type ProgramPass struct {
+	Analyzer *Analyzer
+
+	Fset     *token.FileSet
+	Packages []*ProgramPackage
+
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 

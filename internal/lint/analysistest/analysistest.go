@@ -24,6 +24,8 @@ package analysistest
 
 import (
 	"fmt"
+	"go/ast"
+	"go/token"
 	"io/fs"
 	"path/filepath"
 	"regexp"
@@ -57,6 +59,50 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...str
 	for _, ip := range importPaths {
 		checkPackage(t, l, a, ip)
 	}
+}
+
+// RunProgram loads every listed fixture package together, runs a
+// whole-program analyzer (Analyzer.RunProgram) once over the set,
+// applies //varsim:allow suppression across all files, and compares
+// diagnostics against want annotations in any of the loaded files.
+// importPaths should list every fixture package that carries wants —
+// helper packages reached only by import may be listed too so their
+// function bodies join the call graph (dependency loading skips
+// bodies).
+func RunProgram(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	if a.RunProgram == nil {
+		t.Fatalf("analyzer %s has no RunProgram", a.Name)
+	}
+	l := loader.New("")
+	registerFixtures(t, l, filepath.Join(testdata, "src"))
+	var (
+		pkgs     []*analysis.ProgramPackage
+		allFiles []*ast.File
+	)
+	for _, ip := range importPaths {
+		pkg, err := l.Load(ip)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", ip, err)
+		}
+		pkgs = append(pkgs, &analysis.ProgramPackage{Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info})
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.ProgramPass{
+		Analyzer: a,
+		Fset:     l.Fset,
+		Packages: pkgs,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		d.Category = a.Name
+		diags = append(diags, d)
+	}
+	if _, err := a.RunProgram(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	diags = directive.Filter(l.Fset, allFiles, diags)
+	checkWants(t, l.Fset, allFiles, diags)
 }
 
 // registerFixtures registers every directory under src that contains Go
@@ -112,30 +158,36 @@ func checkPackage(t *testing.T, l *loader.Loader, a *analysis.Analyzer, importPa
 		t.Fatalf("%s on %s: %v", a.Name, importPath, err)
 	}
 	diags = directive.Filter(pkg.Fset, pkg.Files, diags)
+	checkWants(t, pkg.Fset, pkg.Files, diags)
+}
 
+// checkWants diffs diagnostics against `// want` annotations across
+// files.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
 	}
 	got := map[key][]string{}
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		got[key{pos.Filename, pos.Line}] = append(got[key{pos.Filename, pos.Line}], d.Message)
 	}
 
 	wants := map[key][]*regexp.Regexp{}
-	for _, file := range pkg.Files {
+	for _, file := range files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
 				patterns, err := parseWant(c.Text)
 				if err != nil {
-					pos := pkg.Fset.Position(c.Pos())
+					pos := fset.Position(c.Pos())
 					t.Fatalf("%s: %v", pos, err)
 				}
 				if len(patterns) == 0 {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], patterns...)
 			}
 		}

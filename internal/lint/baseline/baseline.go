@@ -1,0 +1,105 @@
+// Package baseline implements varsimlint's accepted-findings file. A
+// baseline records fingerprints of findings the tree currently carries
+// on purpose (each one also carries a //varsim:allow or a tracked
+// issue); the CLI subtracts it from a run so CI fails only on *new*
+// findings while the debt is paid down. Entries are keyed by the
+// Finding.ID fingerprint — analyzer + file + message, no line numbers —
+// so unrelated edits do not churn the file.
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"varsim/internal/lint"
+)
+
+// Version is the baseline file format version.
+const Version = 1
+
+// Entry is one accepted finding.
+type Entry struct {
+	ID       string `json:"id"`
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// File is the on-disk baseline document.
+type File struct {
+	Version  int     `json:"version"`
+	Findings []Entry `json:"findings"`
+}
+
+// New builds a baseline from a run's findings, sorted by ID for a
+// stable diff-friendly serialization.
+func New(findings []lint.Finding) *File {
+	f := &File{Version: Version, Findings: []Entry{}}
+	for _, fd := range findings {
+		f.Findings = append(f.Findings, Entry{
+			ID:       fd.ID,
+			Analyzer: fd.Analyzer,
+			File:     fd.File,
+			Message:  fd.Message,
+		})
+	}
+	sort.Slice(f.Findings, func(i, j int) bool { return f.Findings[i].ID < f.Findings[j].ID })
+	return f
+}
+
+// Load reads a baseline file. A missing file is not an error: it loads
+// as the empty baseline, so `varsimlint -baseline` works before the
+// first -write-baseline.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Version: Version}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("baseline %s: version %d, want %d", path, f.Version, Version)
+	}
+	return &f, nil
+}
+
+// Save writes the baseline with a trailing newline, ready to check in.
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into those not covered by the baseline (kept,
+// order preserved) and reports which baseline entries matched nothing
+// this run (stale, in file order) — stale entries mean the underlying
+// finding was fixed and the baseline should be regenerated.
+func (f *File) Filter(findings []lint.Finding) (kept []lint.Finding, stale []Entry) {
+	matched := make([]bool, len(f.Findings))
+	byID := map[string]int{}
+	for i, e := range f.Findings {
+		byID[e.ID] = i
+	}
+	for _, fd := range findings {
+		if i, ok := byID[fd.ID]; ok {
+			matched[i] = true
+			continue
+		}
+		kept = append(kept, fd)
+	}
+	for i, e := range f.Findings {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

@@ -1,0 +1,62 @@
+package baseline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"varsim/internal/lint"
+	"varsim/internal/lint/baseline"
+)
+
+func finding(id, analyzer, file, msg string) lint.Finding {
+	return lint.Finding{ID: id, Analyzer: analyzer, File: file, Message: msg}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	in := []lint.Finding{
+		finding("bbb", "stickyerr", "a.go", "error discarded"),
+		finding("aaa", "maporder", "b.go", "range over map"),
+	}
+	if err := baseline.New(in).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := baseline.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Findings) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(f.Findings))
+	}
+	// Serialization sorts by ID for diff stability.
+	if f.Findings[0].ID != "aaa" || f.Findings[1].ID != "bbb" {
+		t.Errorf("entries not ID-sorted: %+v", f.Findings)
+	}
+}
+
+func TestLoadMissingIsEmpty(t *testing.T) {
+	f, err := baseline.Load(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Findings) != 0 {
+		t.Errorf("missing baseline loaded %d entries", len(f.Findings))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := baseline.New([]lint.Finding{
+		finding("known", "stickyerr", "a.go", "error discarded"),
+		finding("fixed", "maporder", "b.go", "range over map"),
+	})
+	kept, stale := f.Filter([]lint.Finding{
+		finding("known", "stickyerr", "a.go", "error discarded"),
+		finding("fresh", "synccheck", "c.go", "lock copied"),
+	})
+	if len(kept) != 1 || kept[0].ID != "fresh" {
+		t.Errorf("kept = %+v, want just fresh", kept)
+	}
+	if len(stale) != 1 || stale[0].ID != "fixed" {
+		t.Errorf("stale = %+v, want just fixed", stale)
+	}
+}

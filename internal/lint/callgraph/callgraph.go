@@ -1,0 +1,229 @@
+// Package callgraph builds a conservative cross-package call graph
+// over go/types object resolution, the substrate for the puritywall
+// analyzer's transitive determinism checks.
+//
+// Nodes are declared functions and methods, keyed by their
+// types.Func.FullName() — a stable, printable identity
+// ("varsim/internal/journal.ConfigHash",
+// "(*varsim/internal/journal.Writer).Append") that survives the same
+// package being type-checked more than once (the loader re-checks a
+// dependency package with full bodies when it is later loaded as a
+// target, producing distinct types.Package instances for one import
+// path).
+//
+// Edges are recorded from the *declared* function whose body lexically
+// contains the use — function literals attribute to their enclosing
+// declaration — and come in three kinds:
+//
+//   - Call: a direct static call, f() or recv.M().
+//   - Ref: a reference to a function outside call position — a method
+//     value (v := t.M), a function value assigned to a variable or a
+//     function-typed struct field, or a function passed as an
+//     argument. A referenced function may be called through any
+//     dynamic path, so reachability treats Ref like Call.
+//   - Go: the function launched by a go statement (directly, or the
+//     literal's body attributed with this kind).
+//
+// Dynamic calls through interface methods and function-typed values
+// are not resolved — the Ref edges taken where the concrete function
+// was bound cover them conservatively: a function that never escapes
+// by reference cannot be the target of a dynamic call.
+//
+// The graph is deterministic: nodes appear in (package, file,
+// declaration) order and each node's edges in body-source order, so
+// analyses that walk it report in a stable order without sorting.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/astutil"
+)
+
+// Kind classifies one edge.
+type Kind int
+
+const (
+	Call Kind = iota // direct static call
+	Ref              // reference outside call position (method value, stored func, argument)
+	Go               // launched by a go statement
+)
+
+// String renders the edge kind the way diagnostics print it.
+func (k Kind) String() string {
+	switch k {
+	case Call:
+		return "calls"
+	case Ref:
+		return "references"
+	case Go:
+		return "launches goroutine"
+	default:
+		panic("callgraph: unknown edge kind")
+	}
+}
+
+// Edge is one outgoing edge of a node.
+type Edge struct {
+	Kind Kind
+	Pos  token.Pos // use site inside the caller's body
+	// Callee identifies the target function. PkgPath is "" for
+	// builtins resolved away before edge creation (never stored).
+	Callee FuncID
+}
+
+// FuncID is the stable identity of a function: its defining package
+// path and its FullName. Methods on the same named type checked twice
+// collapse to one ID.
+type FuncID struct {
+	PkgPath string
+	Name    string // types.Func.FullName()
+}
+
+// Node is one declared function with its outgoing edges.
+type Node struct {
+	ID   FuncID
+	Pos  token.Pos // declaration position
+	Decl *ast.FuncDecl
+	// Edges in body-source order.
+	Edges []Edge
+}
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	Fset *token.FileSet
+	// Nodes in (package, file, declaration) order.
+	Nodes []*Node
+	// ByID indexes Nodes; only declared functions from the analyzed
+	// packages have entries — stdlib and dependency callees do not.
+	ByID map[FuncID]*Node
+}
+
+// ID returns the stable identity of fn.
+func ID(fn *types.Func) FuncID {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	// Origin folds generic instantiations back onto their declaration.
+	return FuncID{PkgPath: pkg, Name: fn.Origin().FullName()}
+}
+
+// Build constructs the call graph over pkgs (a ProgramPass's package
+// list). Packages without type information are skipped.
+func Build(fset *token.FileSet, pkgs []*analysis.ProgramPackage) *Graph {
+	g := &Graph{Fset: fset, ByID: map[FuncID]*Node{}}
+	for _, p := range pkgs {
+		if p.Pkg == nil || p.TypesInfo == nil {
+			continue
+		}
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := g.node(ID(fn), fd)
+				collectEdges(p.TypesInfo, fd.Body, node)
+			}
+		}
+	}
+	return g
+}
+
+// node returns (creating if needed) the node for id. A redefinition —
+// the same package loaded twice — keeps the first declaration.
+func (g *Graph) node(id FuncID, decl *ast.FuncDecl) *Node {
+	if n, ok := g.ByID[id]; ok {
+		return n
+	}
+	n := &Node{ID: id, Decl: decl}
+	if decl != nil {
+		n.Pos = decl.Pos()
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.ByID[id] = n
+	return n
+}
+
+// collectEdges walks one function body, attributing every resolved
+// call, reference and goroutine launch to node. Function literals are
+// walked in place: their uses belong to the enclosing declared
+// function, which is sound for reachability (the declaration's body
+// lexically contains the behaviour).
+func collectEdges(info *types.Info, body *ast.BlockStmt, node *Node) {
+	// consumed marks call expressions already edged by an enclosing
+	// GoStmt, and callee identifiers already edged by their CallExpr,
+	// so the reference walk does not double-count a direct call as a
+	// Ref edge.
+	consumed := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The launched callee (when statically resolvable) gets a
+			// Go edge; the call's arguments are walked normally below.
+			if fn := astutil.Callee(info, n.Call); fn != nil && !interfaceMethod(fn) {
+				node.Edges = append(node.Edges, Edge{Kind: Go, Pos: n.Pos(), Callee: ID(fn)})
+				consumed[n.Call] = true
+				if id := calleeIdent(n.Call); id != nil {
+					consumed[id] = true
+				}
+			}
+		case *ast.CallExpr:
+			if consumed[n] {
+				return true
+			}
+			if fn := astutil.Callee(info, n); fn != nil && !interfaceMethod(fn) {
+				node.Edges = append(node.Edges, Edge{Kind: Call, Pos: n.Pos(), Callee: ID(fn)})
+				if id := calleeIdent(n); id != nil {
+					consumed[id] = true
+				}
+			}
+		case *ast.Ident:
+			if consumed[n] {
+				return true
+			}
+			if fn, ok := info.Uses[n].(*types.Func); ok && !interfaceMethod(fn) {
+				node.Edges = append(node.Edges, Edge{Kind: Ref, Pos: n.Pos(), Callee: ID(fn)})
+			}
+		}
+		return true
+	})
+}
+
+// calleeIdent returns the identifier naming a call's callee (f → f,
+// recv.M → M, f[T] → f), or nil for dynamic callees.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.Ident:
+			return f
+		case *ast.SelectorExpr:
+			return f.Sel
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+		default:
+			return nil
+		}
+	}
+}
+
+// interfaceMethod reports whether fn is declared on an interface —
+// dynamically dispatched, so unresolvable statically.
+func interfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}

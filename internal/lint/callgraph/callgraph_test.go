@@ -1,0 +1,149 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"varsim/internal/lint/analysis"
+)
+
+// check type-checks one in-memory file (no imports) and wraps it as a
+// ProgramPackage.
+func check(t *testing.T, src string) (*token.FileSet, *analysis.ProgramPackage) {
+	t.Helper()
+	fset := token.NewFileSet()
+	return fset, checkInto(t, fset, "a.go", src)
+}
+
+// checkInto type-checks src as its own package instance sharing fset.
+func checkInto(t *testing.T, fset *token.FileSet, name, src string) *analysis.ProgramPackage {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.ProgramPackage{Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+const src = `package p
+
+type T struct{ hook func() }
+
+func (T) M() {}
+
+func leaf() {}
+
+func direct() { leaf() }
+
+func method(t T) { t.M() }
+
+func methodValue(t T) {
+	v := t.M
+	v()
+}
+
+func field(t *T) {
+	t.hook = leaf
+	t.hook()
+}
+
+func launch() {
+	go leaf()
+}
+
+func launchLit() {
+	go func() { leaf() }()
+}
+`
+
+// edges returns node id → "kind callee" strings in order.
+func edges(g *Graph, name string) []string {
+	n := g.ByID[FuncID{PkgPath: "p", Name: "p." + name}]
+	if n == nil {
+		return nil
+	}
+	var out []string
+	for _, e := range n.Edges {
+		out = append(out, e.Kind.String()+" "+e.Callee.Name)
+	}
+	return out
+}
+
+func TestBuildEdges(t *testing.T) {
+	fset, pkg := check(t, src)
+	g := Build(fset, []*analysis.ProgramPackage{pkg})
+
+	cases := map[string][]string{
+		// A direct call is one Call edge, not a Call plus a Ref.
+		"direct": {"calls p.leaf"},
+		// A method call resolves to the concrete method.
+		"method": {"calls (p.T).M"},
+		// A method value is a Ref edge (plus no edge for the dynamic
+		// v() call, which cannot resolve).
+		"methodValue": {"references (p.T).M"},
+		// Assigning a function to a function-typed field is a Ref; the
+		// dynamic call through the field adds nothing.
+		"field": {"references p.leaf"},
+		// go f() is a Go edge only.
+		"launch": {"launches goroutine p.leaf"},
+		// go func(){...}(): the literal is dynamic (no edge for the
+		// launch itself) but its body's call attributes to the
+		// enclosing declaration.
+		"launchLit": {"calls p.leaf"},
+	}
+	for name, want := range cases {
+		got := edges(g, name)
+		if strings.Join(got, "; ") != strings.Join(want, "; ") {
+			t.Errorf("%s: edges = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestDeterministicOrder pins that nodes come out in declaration order.
+func TestDeterministicOrder(t *testing.T) {
+	fset, pkg := check(t, src)
+	g := Build(fset, []*analysis.ProgramPackage{pkg})
+	var names []string
+	for _, n := range g.Nodes {
+		names = append(names, n.ID.Name)
+	}
+	want := "(p.T).M p.leaf p.direct p.method p.methodValue p.field p.launch p.launchLit"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("node order = %s, want %s", got, want)
+	}
+}
+
+// TestDuplicateCheck pins that re-checking the same package (as the
+// loader does when a dependency is later loaded as a target) collapses
+// onto one node set via FullName identity.
+func TestDuplicateCheck(t *testing.T) {
+	fset, pkg1 := check(t, src)
+	pkg2 := checkInto(t, fset, "b.go", src) // distinct types.Package, same path "p"
+	g := Build(fset, []*analysis.ProgramPackage{pkg1, pkg2})
+	if len(g.Nodes) == 0 {
+		t.Fatal("no nodes built")
+	}
+	seen := map[FuncID]int{}
+	for _, n := range g.Nodes {
+		seen[n.ID]++
+	}
+	for id, count := range seen {
+		if count != 1 {
+			t.Errorf("node %v appears %d times", id, count)
+		}
+	}
+}

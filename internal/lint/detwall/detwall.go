@@ -27,9 +27,9 @@ package detwall
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/wall"
 )
 
 // Analyzer is the detwall analysis.
@@ -39,37 +39,10 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// wallPrefixes lists the package paths inside the determinism wall.
-// A package is inside the wall when its import path equals a prefix or
-// sits beneath one.
-var wallPrefixes = []string{
-	"varsim/internal/core",
-	"varsim/internal/sim",
-	"varsim/internal/machine",
-	"varsim/internal/mem",
-	"varsim/internal/dram",
-	"varsim/internal/kernel",
-	"varsim/internal/bpred",
-	"varsim/internal/rng",
-	"varsim/internal/stats",
-	"varsim/internal/harness",
-	"varsim/internal/checkpoint",
-	"varsim/internal/workload",
-	"varsim/internal/workloads",
-	"varsim/internal/config",
-	"varsim/internal/trace",
-	"varsim/internal/digest",
-}
-
 // InsideWall reports whether the package at path is subject to detwall.
-func InsideWall(path string) bool {
-	for _, p := range wallPrefixes {
-		if path == p || strings.HasPrefix(path, p+"/") {
-			return true
-		}
-	}
-	return false
-}
+// The package list itself lives in internal/lint/wall, shared with the
+// transitive puritywall analyzer.
+func InsideWall(path string) bool { return wall.Inside(path) }
 
 // wallClockFuncs are the forbidden time package functions. Reading a
 // monotonic or calendar clock makes behaviour depend on host timing.

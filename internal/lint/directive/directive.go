@@ -38,10 +38,22 @@ type Allow struct {
 	Analyzer string
 	Reason   string
 	Pos      token.Pos
-	// line is the source line the directive suppresses (its own line,
-	// or the next code line for directive-only lines).
-	line int
-	file string
+	// Line is the source line the directive suppresses (its own line,
+	// or the next code line for directive-only lines), in File.
+	Line int
+	File string
+}
+
+// Parse extracts directives from files' comments. Malformed directives
+// (no analyzer, or no reason) are returned separately so the driver can
+// report them (it assigns them the "directive" category).
+func Parse(fset *token.FileSet, files []*ast.File) (allows []Allow, malformed []analysis.Diagnostic) {
+	for _, f := range files {
+		a, bad := parse(fset, f)
+		allows = append(allows, a...)
+		malformed = append(malformed, bad...)
+	}
+	return allows, malformed
 }
 
 // parse extracts directives from one file's comments. Malformed
@@ -97,8 +109,8 @@ func parse(fset *token.FileSet, file *ast.File) (allows []Allow, malformed []ana
 				Analyzer: fields[0],
 				Reason:   strings.Join(fields[1:], " "),
 				Pos:      c.Pos(),
-				line:     pos.Line,
-				file:     pos.Filename,
+				Line:     pos.Line,
+				File:     pos.Filename,
 			}
 			if !codeLines[pos.Line] {
 				// Directive-only line: applies to the next code line.
@@ -107,7 +119,7 @@ func parse(fset *token.FileSet, file *ast.File) (allows []Allow, malformed []ana
 				for !codeLines[next] && next <= fset.File(c.Pos()).LineCount() {
 					next++
 				}
-				a.line = next
+				a.Line = next
 			}
 			allows = append(allows, a)
 		}
@@ -115,32 +127,42 @@ func parse(fset *token.FileSet, file *ast.File) (allows []Allow, malformed []ana
 	return allows, malformed
 }
 
-// Filter drops diagnostics suppressed by //varsim:allow directives in
-// files and appends a finding for each malformed directive. The
-// returned slice holds the surviving diagnostics.
-func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+// Apply filters diags through allows, returning the surviving
+// diagnostics and a mask, parallel to allows, marking which directives
+// suppressed at least one diagnostic. The mask is what the staleallow
+// analyzer audits: an allow that used none of its suppression power no
+// longer documents anything real.
+func Apply(fset *token.FileSet, allows []Allow, diags []analysis.Diagnostic) (kept []analysis.Diagnostic, used []bool) {
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	allowed := map[key]bool{}
-	var malformed []analysis.Diagnostic
-	for _, f := range files {
-		allows, bad := parse(fset, f)
-		malformed = append(malformed, bad...)
-		for _, a := range allows {
-			allowed[key{a.file, a.line, a.Analyzer}] = true
-		}
+	byKey := map[key][]int{} // → indices into allows
+	for i, a := range allows {
+		k := key{a.File, a.Line, a.Analyzer}
+		byKey[k] = append(byKey[k], i)
 	}
-	var out []analysis.Diagnostic
+	used = make([]bool, len(allows))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		if allowed[key{pos.Filename, pos.Line, d.Category}] {
+		if idx := byKey[key{pos.Filename, pos.Line, d.Category}]; idx != nil {
+			for _, i := range idx {
+				used[i] = true
+			}
 			continue
 		}
-		out = append(out, d)
+		kept = append(kept, d)
 	}
+	return kept, used
+}
+
+// Filter drops diagnostics suppressed by //varsim:allow directives in
+// files and appends a finding for each malformed directive. The
+// returned slice holds the surviving diagnostics.
+func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	allows, malformed := Parse(fset, files)
+	out, _ := Apply(fset, allows, diags)
 	for _, d := range malformed {
 		d.Category = "directive"
 		out = append(out, d)

@@ -1,0 +1,153 @@
+// Package floatorder flags floating-point accumulation whose term
+// order is decided by goroutine completion rather than run index.
+// Float addition is not associative: summing per-run statistics in the
+// order results happen to arrive off a channel makes the merged value
+// depend on scheduling, which is exactly the cross-run variability the
+// simulator is built to eliminate (fleet.Run's contract is an
+// index-ordered merge for this reason — see docs/DETERMINISM.md).
+//
+// Three shapes are flagged, each accumulating (+=, -=, *=, /=, or the
+// x = x op y spelling) into a float variable declared outside the
+// completion-ordered region:
+//
+//   - a range loop over a channel,
+//   - a for loop whose body receives from a channel,
+//   - the body of a goroutine launched with go func(){...}().
+//
+// The fix is always the same: store per-run values into a slice slot
+// keyed by run index, then reduce the slice sequentially.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/astutil"
+)
+
+// Analyzer is the floatorder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc:  "flag floating-point accumulation ordered by goroutine completion rather than run index",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	reported := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					scanBody(pass, reported, lit.Body, lit, "spawned goroutine")
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						scanBody(pass, reported, n.Body, n, "channel range")
+					}
+				}
+			case *ast.ForStmt:
+				if receivesFromChannel(pass, n.Body) {
+					scanBody(pass, reported, n.Body, n, "channel receive loop")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// receivesFromChannel reports whether body contains a channel receive
+// outside nested function literals.
+func receivesFromChannel(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// scanBody reports float accumulation inside body into variables that
+// outlive region. Nested function literals get their own context (a
+// goroutine body is visited separately), so they are not descended.
+func scanBody(pass *analysis.Pass, reported map[token.Pos]bool, body *ast.BlockStmt, region ast.Node, context string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != region {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		target := accumTarget(pass, as)
+		if target == nil {
+			return true
+		}
+		if !astutil.DeclaredOutside(pass.TypesInfo, region, region, target) {
+			return true
+		}
+		if reported[as.Pos()] {
+			return true
+		}
+		reported[as.Pos()] = true
+		pass.Reportf(as.Pos(), "floating-point accumulation into %s follows completion order (%s): the sum depends on scheduling; store by run index and reduce sequentially", target.Name, context)
+		return true
+	})
+}
+
+// accumTarget returns the identifier a floating-point accumulation
+// writes to, or nil when as is not one. Both x += y and x = x op y
+// spellings count.
+func accumTarget(pass *analysis.Pass, as *ast.AssignStmt) *ast.Ident {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	target := astutil.RootIdent(as.Lhs[0])
+	if target == nil || target.Name == "_" {
+		return nil
+	}
+	if t := pass.TypesInfo.TypeOf(as.Lhs[0]); t == nil || !astutil.IsFloat(t) {
+		return nil
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return target
+	case token.ASSIGN:
+		// x = x + y (or the mirrored y + x) re-feeds the accumulator.
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return nil
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil
+		}
+		obj := pass.TypesInfo.ObjectOf(target)
+		for _, operand := range []ast.Expr{bin.X, bin.Y} {
+			if id := astutil.RootIdent(operand); id != nil && pass.TypesInfo.ObjectOf(id) == obj {
+				return target
+			}
+		}
+	}
+	return nil
+}

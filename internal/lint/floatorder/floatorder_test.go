@@ -1,0 +1,15 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/floatorder"
+)
+
+func TestFloatOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	analysistest.Run(t, analysistest.TestData(t), floatorder.Analyzer, "floatfix")
+}

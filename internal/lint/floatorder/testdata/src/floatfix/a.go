@@ -1,0 +1,134 @@
+// Package floatfix exercises floatorder: float accumulation ordered by
+// completion (channel range, receive loop, goroutine body) is flagged;
+// index-keyed stores, integer counters and loop-local accumulators are
+// not.
+package floatfix
+
+type result struct {
+	idx int
+	val float64
+}
+
+func rangeChan(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want `floating-point accumulation into sum follows completion order \(channel range\)`
+	}
+	return sum
+}
+
+func spelledOut(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum = sum + v // want `floating-point accumulation into sum follows completion order \(channel range\)`
+	}
+	return sum
+}
+
+func receiveLoop(ch chan float64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := <-ch
+		sum += v // want `floating-point accumulation into sum follows completion order \(channel receive loop\)`
+	}
+	return sum
+}
+
+func goBody(total *float64, v float64) {
+	go func() {
+		*total += v // want `floating-point accumulation into total follows completion order \(spawned goroutine\)`
+	}()
+}
+
+// Index-keyed stores are the sanctioned pattern: each run writes its
+// own slot, the caller reduces sequentially.
+
+func indexed(ch chan result, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := <-ch
+		out[r.idx] = r.val
+	}
+	return out
+}
+
+// Integer counters commute; order cannot change the total.
+
+func counter(ch chan float64) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}
+
+func intSum(ch chan int) int {
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// A loop-local accumulator resets every iteration: completion order
+// never crosses it.
+
+func loopLocal(ch chan float64) {
+	for v := range ch {
+		local := 0.0
+		local += v
+		_ = local
+	}
+}
+
+// A plain for loop with no channel receive is sequential.
+
+func sequential(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// Regression guards for internal/obs and internal/report shapes the
+// analyzer must not flag:
+
+// A goroutine whose float work stays in locals, like report.Heartbeat's
+// ticker goroutine calling obs's etaSecs (a sequential mean over a
+// snapshot slice).
+func heartbeatShape(stop chan struct{}, ws []float64, out func(float64)) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			local := 0.0
+			for _, w := range ws {
+				local += w
+			}
+			out(local)
+		}
+	}()
+}
+
+// String accumulation in a status line (obs fleet.Line, report
+// heartbeat) is not float math.
+func statusLine(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += ", " + p
+	}
+	return s
+}
+
+func allowed(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		//varsim:allow floatorder fixture exercises the escape hatch
+		sum += v
+	}
+	return sum
+}

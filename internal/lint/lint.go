@@ -1,31 +1,49 @@
 // Package lint is the varsimlint driver: it wires the determinism
-// analyzers (detwall, seedflow, maporder, kindexhaust) to the package
-// loader, applies //varsim:allow suppression, and returns findings in
-// a deterministic order. cmd/varsimlint is a thin CLI over Run; the
+// analyzers to the package loader, runs per-package and whole-program
+// passes, applies //varsim:allow suppression globally, audits the
+// directives themselves, and returns findings in a deterministic order
+// with stable fingerprints. cmd/varsimlint is a thin CLI over Run; the
 // analyzers' own tests go through internal/lint/analysistest instead.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"hash/fnv"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"varsim/internal/lint/analysis"
 	"varsim/internal/lint/detwall"
 	"varsim/internal/lint/directive"
+	"varsim/internal/lint/floatorder"
 	"varsim/internal/lint/kindexhaust"
 	"varsim/internal/lint/loader"
 	"varsim/internal/lint/maporder"
+	"varsim/internal/lint/puritywall"
 	"varsim/internal/lint/seedflow"
+	"varsim/internal/lint/staleallow"
+	"varsim/internal/lint/stickyerr"
+	"varsim/internal/lint/synccheck"
 )
 
-// Analyzers returns the full determinism suite in stable order.
+// Analyzers returns the full determinism suite in stable order. The
+// fast per-package wall checks run first (detwall is the coarse pass
+// whose package blocklist puritywall refines), then the per-package
+// hygiene analyzers, then the whole-program and driver-level audits.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detwall.Analyzer,
 		seedflow.Analyzer,
 		maporder.Analyzer,
 		kindexhaust.Analyzer,
+		synccheck.Analyzer,
+		stickyerr.Analyzer,
+		floatorder.Analyzer,
+		puritywall.Analyzer,
+		staleallow.Analyzer,
 	}
 }
 
@@ -39,11 +57,21 @@ func ByName(name string) *analysis.Analyzer {
 	return nil
 }
 
-// Finding is one surviving diagnostic, resolved to a file position.
+// Finding is one surviving diagnostic, resolved to a file position and
+// stamped with a stable fingerprint.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	// ID is a content fingerprint over (analyzer, file, message) plus a
+	// same-content ordinal — deliberately excluding line numbers, so a
+	// baselined finding keeps its identity when unrelated edits shift
+	// the file around it.
+	ID       string         `json:"id"`
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	// File is Pos.Filename relative to the lint root with forward
+	// slashes: the machine-portable path used in fingerprints, JSON
+	// and SARIF output.
+	File    string `json:"file"`
+	Message string `json:"message"`
 }
 
 func (f Finding) String() string {
@@ -51,18 +79,20 @@ func (f Finding) String() string {
 }
 
 // Run loads the packages matching patterns (go list syntax, run from
-// dir; "" = current directory) and applies every analyzer to each,
-// returning suppression-filtered findings sorted by position.
+// dir; "" = current directory), applies every per-package analyzer to
+// each package and every whole-program analyzer to the set, filters
+// through //varsim:allow, audits directive staleness, and returns
+// findings sorted by position.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	l := loader.New(dir)
 	metas, err := l.List(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
+	var pkgs []*loader.Package
 	for _, meta := range metas {
-		if meta.Error != nil {
-			return nil, fmt.Errorf("lint: %s: %s", meta.ImportPath, meta.Error.Err)
+		if e := meta.Err(); e != nil {
+			return nil, fmt.Errorf("lint: %s: %s", meta.ImportPath, e.Err)
 		}
 		if len(meta.GoFiles) == 0 {
 			continue
@@ -71,17 +101,90 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 		if err != nil {
 			return nil, err
 		}
-		findings = append(findings, analyze(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
+	}
+
+	var diags []analysis.Diagnostic
+
+	// Per-package passes.
+	for _, pkg := range pkgs {
+		diags = append(diags, analyzePackage(pkg, analyzers)...)
+	}
+
+	// Whole-program passes see every loaded package at once.
+	progPkgs := make([]*analysis.ProgramPackage, len(pkgs))
+	for i, pkg := range pkgs {
+		progPkgs[i] = &analysis.ProgramPackage{Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a := a
+		pass := &analysis.ProgramPass{Analyzer: a, Fset: l.Fset, Packages: progPkgs}
+		pass.Report = func(d analysis.Diagnostic) {
+			d.Category = a.Name
+			diags = append(diags, d)
+		}
+		if _, err := a.RunProgram(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      token.NoPos,
+				Category: a.Name,
+				Message:  fmt.Sprintf("analyzer error: %v", err),
+			})
+		}
+	}
+
+	// Suppression is applied globally so the usage mask spans the whole
+	// run: an allow is stale only if no diagnostic anywhere used it.
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	allows, malformed := directive.Parse(l.Fset, allFiles)
+	kept, used := directive.Apply(l.Fset, allows, diags)
+	for _, d := range malformed {
+		d.Category = "directive"
+		kept = append(kept, d)
+	}
+
+	// The staleallow audit runs driver-side: it needs the usage mask.
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	if selected[staleallow.Analyzer.Name] {
+		kept = append(kept, staleallow.Check(allows, used,
+			func(name string) bool { return selected[name] },
+			func(name string) bool { return ByName(name) != nil },
+		)...)
+	}
+
+	findings := make([]Finding, 0, len(kept))
+	root := rootDir(dir)
+	for _, d := range kept {
+		pos := l.Fset.Position(d.Pos)
+		findings = append(findings, Finding{
+			Analyzer: d.Category,
+			Pos:      pos,
+			File:     relPath(root, pos.Filename),
+			Message:  d.Message,
+		})
 	}
 	sort.Slice(findings, func(i, j int) bool { return less(findings[i], findings[j]) })
+	fingerprint(findings)
 	return findings, nil
 }
 
-// analyze runs the analyzers over one loaded package and filters the
-// diagnostics through //varsim:allow directives.
-func analyze(pkg *loader.Package, analyzers []*analysis.Analyzer) []Finding {
+// analyzePackage runs the per-package analyzers over one loaded
+// package. Suppression is NOT applied here — the driver filters
+// globally so directive usage is tracked across program passes too.
+func analyzePackage(pkg *loader.Package, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		a := a
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -102,16 +205,54 @@ func analyze(pkg *loader.Package, analyzers []*analysis.Analyzer) []Finding {
 			})
 		}
 	}
-	diags = directive.Filter(pkg.Fset, pkg.Files, diags)
-	findings := make([]Finding, 0, len(diags))
-	for _, d := range diags {
-		findings = append(findings, Finding{
-			Analyzer: d.Category,
-			Pos:      pkg.Fset.Position(d.Pos),
-			Message:  d.Message,
-		})
+	return diags
+}
+
+// rootDir resolves the lint invocation directory to an absolute path
+// for relativizing finding filenames; "" means the current directory.
+func rootDir(dir string) string {
+	if dir == "" {
+		dir = "."
 	}
-	return findings
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	return abs
+}
+
+// relPath renders filename relative to root with forward slashes,
+// falling back to the absolute path outside the tree.
+func relPath(root, filename string) string {
+	if filename == "" {
+		return ""
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// fingerprint stamps each finding with a stable ID: FNV-64a over
+// analyzer, relative file and message, plus an ordinal distinguishing
+// identical findings in one file (two findings may carry the same
+// message — e.g. the same copy-by-value mistake twice; the ordinal
+// follows position order, which sort already fixed).
+func fingerprint(findings []Finding) {
+	seen := map[string]int{}
+	for i := range findings {
+		f := &findings[i]
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s\x00%s\x00%s", f.Analyzer, f.File, f.Message)
+		base := fmt.Sprintf("%016x", h.Sum64())
+		seen[base]++
+		if n := seen[base]; n > 1 {
+			f.ID = fmt.Sprintf("%s-%d", base, n)
+		} else {
+			f.ID = base
+		}
+	}
 }
 
 func less(a, b Finding) bool {
@@ -124,5 +265,8 @@ func less(a, b Finding) bool {
 	if a.Pos.Column != b.Pos.Column {
 		return a.Pos.Column < b.Pos.Column
 	}
-	return a.Analyzer < b.Analyzer
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
 }

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"varsim/internal/lint"
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/puritywall"
 )
 
 // TestRealTreeIsClean is the acceptance gate: the whole module must
@@ -73,7 +75,10 @@ func Keys(m map[string]int) []string {
 
 // TestByName covers analyzer lookup used by the -analyzers CLI flag.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"detwall", "seedflow", "maporder", "kindexhaust"} {
+	for _, name := range []string{
+		"detwall", "seedflow", "maporder", "kindexhaust",
+		"synccheck", "stickyerr", "floatorder", "puritywall", "staleallow",
+	} {
 		a := lint.ByName(name)
 		if a == nil || a.Name != name {
 			t.Errorf("ByName(%q) = %v", name, a)
@@ -81,5 +86,164 @@ func TestByName(t *testing.T) {
 	}
 	if a := lint.ByName("nope"); a != nil {
 		t.Errorf("ByName(nope) = %v, want nil", a)
+	}
+}
+
+// TestSeededPurityViolation drives the whole-program pass through the
+// driver: a scratch module named varsim puts its package inside the
+// wall, and a transitive wall-clock chain must surface with the full
+// call path in the message.
+func TestSeededPurityViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module varsim\n\ngo 1.22\n")
+	write("internal/helper/helper.go", `package helper
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("internal/core/bad.go", `package core
+
+import "varsim/internal/helper"
+
+func Tick() int64 { return helper.Stamp() }
+`)
+
+	findings, err := lint.Run(dir, []string{"./..."}, []*analysis.Analyzer{puritywall.Analyzer})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "puritywall" {
+		t.Errorf("analyzer = %q, want puritywall", f.Analyzer)
+	}
+	want := "determinism-wall breach: core.Tick calls helper.Stamp; helper.Stamp calls time.Now (wall-clock read)"
+	if f.Message != want {
+		t.Errorf("message = %q\nwant      %q", f.Message, want)
+	}
+	if f.File != "internal/core/bad.go" {
+		t.Errorf("file = %q (must be root-relative)", f.File)
+	}
+}
+
+// TestSeededStaleAllow drives the directive audit through the driver: a
+// suppression that no longer suppresses anything is itself a finding.
+func TestSeededStaleAllow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tempmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ok.go"), []byte(`package tempmod
+
+// Sum is clean: the allow below earned nothing.
+func Sum(vs []int) int {
+	//varsim:allow maporder left over from a deleted loop
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	findings, err := lint.Run(dir, []string{"./..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "staleallow" {
+		t.Errorf("analyzer = %q, want staleallow", f.Analyzer)
+	}
+	if !strings.Contains(f.Message, "stale varsim:allow maporder (left over from a deleted loop)") {
+		t.Errorf("message = %q", f.Message)
+	}
+}
+
+// TestFingerprints pins the stability contract: IDs ignore line
+// numbers, so inserting code above a finding must not change its ID,
+// while duplicate findings in one file get distinct ordinals.
+func TestFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	src := `package tempmod
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Vals(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	run := func(prefix string) []lint.Finding {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tempmod\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(prefix+src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		findings, err := lint.Run(dir, []string{"./..."}, lint.Analyzers())
+		if err != nil {
+			t.Fatalf("lint.Run: %v", err)
+		}
+		return findings
+	}
+
+	base := run("")
+	if len(base) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(base), base)
+	}
+	if base[0].ID == base[1].ID {
+		t.Errorf("identical-message findings share ID %s", base[0].ID)
+	}
+	if !strings.HasSuffix(base[1].ID, "-2") {
+		t.Errorf("second duplicate ID = %q, want -2 ordinal", base[1].ID)
+	}
+
+	shifted := run("// A comment block pushing every line down.\n// More of it.\n\n")
+	if len(shifted) != 2 {
+		t.Fatalf("shifted run: got %d findings, want 2", len(shifted))
+	}
+	for i := range base {
+		if base[i].ID != shifted[i].ID {
+			t.Errorf("finding %d ID changed across a line shift: %s -> %s", i, base[i].ID, shifted[i].ID)
+		}
+		if base[i].Pos.Line == shifted[i].Pos.Line {
+			t.Errorf("finding %d line did not shift; the test is not testing anything", i)
+		}
 	}
 }

@@ -49,7 +49,24 @@ type Meta struct {
 	ImportMap  map[string]string
 	Standard   bool
 	DepOnly    bool
+	Incomplete bool
 	Error      *MetaError
+	// DepsErrors carries errors from the package's dependencies: with
+	// `go list -e`, a broken import is reported on the dependency's
+	// own Meta.Error and mirrored here on every importer.
+	DepsErrors []*MetaError
+}
+
+// Err returns the package's own error or its first dependency error,
+// or nil for a loadable package.
+func (m *Meta) Err() *MetaError {
+	if m.Error != nil {
+		return m.Error
+	}
+	if len(m.DepsErrors) > 0 {
+		return m.DepsErrors[0]
+	}
+	return nil
 }
 
 // MetaError carries a package loading error reported by the go command.
@@ -211,8 +228,8 @@ func (l *Loader) parse(path string, withComments bool) (*Meta, []*ast.File, erro
 		if err != nil {
 			return nil, nil, err
 		}
-		if m.Error != nil {
-			return nil, nil, fmt.Errorf("loader: %s: %s", path, m.Error.Err)
+		if e := m.Err(); e != nil {
+			return nil, nil, fmt.Errorf("loader: %s: %s", path, e.Err)
 		}
 		meta = m
 	}

@@ -1,0 +1,192 @@
+package loader_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"varsim/internal/lint/loader"
+)
+
+// scratch writes a module into a temp dir and returns its root.
+func scratch(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestTestOnlyPackage covers a directory holding only _test.go files:
+// go list reports it with no GoFiles, List must still return it (the
+// driver skips it), and Load must fail cleanly rather than type-check
+// an empty file set.
+func TestTestOnlyPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := scratch(t, map[string]string{
+		"go.mod":            "module tempmod\n\ngo 1.22\n",
+		"main.go":           "package tempmod\n",
+		"only/only_test.go": "package only\n",
+	})
+	l := loader.New(dir)
+	metas, err := l.List("./...")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	var only *loader.Meta
+	for _, m := range metas {
+		if strings.HasSuffix(m.ImportPath, "/only") {
+			only = m
+		}
+	}
+	if only == nil {
+		t.Fatalf("test-only package missing from List results: %v", metas)
+	}
+	if len(only.GoFiles) != 0 {
+		t.Errorf("test-only package lists GoFiles %v", only.GoFiles)
+	}
+	if _, err := l.Load(only.ImportPath); err == nil {
+		t.Error("Load of a test-only package succeeded, want error")
+	} else if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("Load error = %v, want mention of no Go files", err)
+	}
+}
+
+// TestListBrokenImport covers the `go list -e` error path: a package
+// importing something unresolvable keeps the go list invocation alive
+// (-e), and the failure surfaces as a dependency error on the
+// importing package's Meta — Err() folds Error and DepsErrors — so the
+// driver reports it instead of crashing into the type checker.
+func TestListBrokenImport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := scratch(t, map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.22\n",
+		"bad.go": "package tempmod\n\nimport _ \"no.such/dependency\"\n",
+	})
+	l := loader.New(dir)
+	metas, err := l.List("./...")
+	if err != nil {
+		t.Fatalf("List with -e should not fail outright: %v", err)
+	}
+	if len(metas) != 1 {
+		t.Fatalf("got %d packages, want 1", len(metas))
+	}
+	m := metas[0]
+	if !m.Incomplete {
+		t.Error("broken package not marked Incomplete")
+	}
+	e := m.Err()
+	if e == nil {
+		t.Fatal("broken package has nil Meta.Err()")
+	}
+	if !strings.Contains(e.Err, "no.such/dependency") {
+		t.Errorf("Meta.Err() = %q, want the missing import named", e.Err)
+	}
+	// Load surfaces the same failure as a loader error.
+	if _, err := l.Load(m.ImportPath); err == nil {
+		t.Error("Load of a broken package succeeded, want error")
+	} else if !strings.Contains(err.Error(), "no.such/dependency") {
+		t.Errorf("Load error = %v, want the missing import named", err)
+	}
+}
+
+// TestLoadMissingPackage covers Load on a path go list cannot resolve
+// at all.
+func TestLoadMissingPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := scratch(t, map[string]string{
+		"go.mod":  "module tempmod\n\ngo 1.22\n",
+		"main.go": "package tempmod\n",
+	})
+	l := loader.New(dir)
+	if _, err := l.Load("tempmod/nonexistent"); err == nil {
+		t.Error("Load(tempmod/nonexistent) succeeded, want error")
+	}
+}
+
+// TestVendoredStdShadow covers the ImportMap path: net/http pulls in
+// std-vendored golang.org/x/net packages, which only resolve through
+// the importing package's ImportMap (the raw path is not a std
+// package). Loading a package that imports net/http exercises that
+// remapping end to end.
+func TestVendoredStdShadow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks net/http's dependency closure")
+	}
+	dir := scratch(t, map[string]string{
+		"go.mod": "module tempmod\n\ngo 1.22\n",
+		"main.go": `package tempmod
+
+import "net/http"
+
+// Handler forces net/http (and its vendored golang.org/x/net deps)
+// into the type-check closure.
+var Handler http.Handler
+`,
+	})
+	l := loader.New(dir)
+	pkg, err := l.Load("tempmod")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "tempmod" {
+		t.Fatalf("bad package: %+v", pkg)
+	}
+	// The vendored path must have been registered under its mapped
+	// (vendor/...) import path by the remap, not the logical one.
+	var http *loader.Meta
+	for _, imp := range pkg.Meta.Imports {
+		if imp == "net/http" {
+			http = &loader.Meta{ImportPath: imp}
+		}
+	}
+	if http == nil {
+		t.Error("net/http missing from package imports")
+	}
+}
+
+// TestExtraShadowsModulePath covers fixture registration shadowing a
+// real module path: the extra package wins.
+func TestExtraShadowsModulePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := scratch(t, map[string]string{
+		"go.mod":       "module tempmod\n\ngo 1.22\n",
+		"real/real.go": "package real\n\nconst Origin = \"module\"\n",
+	})
+	fixtures := scratch(t, map[string]string{
+		"real.go": "package real\n\nconst Origin = \"extra\"\n",
+	})
+	l := loader.New(dir)
+	l.AddExtra("tempmod/real", fixtures)
+	pkg, err := l.Load("tempmod/real")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	origin, ok := pkg.Types.Scope().Lookup("Origin").(*types.Const)
+	if !ok {
+		t.Fatal("Origin not found")
+	}
+	if got := origin.Val().String(); got != `"extra"` {
+		t.Errorf("Origin = %s, want the extra package's value", got)
+	}
+	if !strings.Contains(pkg.Meta.Dir, fixtures) {
+		t.Errorf("loaded from %s, want the extra dir %s", pkg.Meta.Dir, fixtures)
+	}
+}

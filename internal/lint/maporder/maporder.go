@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/astutil"
 )
 
 // Analyzer is the maporder analysis.
@@ -90,7 +91,7 @@ func checkCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if isBuiltinAppend(pass, fun) && len(call.Args) > 0 {
-			if base := rootIdent(call.Args[0]); base != nil && declaredOutside(pass, body, base) {
+			if base := astutil.RootIdent(call.Args[0]); base != nil && declaredOutside(pass.TypesInfo, body, base) {
 				pass.Reportf(rng.Pos(), "append to %s inside range over map: slice order follows randomized map iteration; iterate sorted keys instead", base.Name)
 			}
 		}
@@ -105,7 +106,7 @@ func checkCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
 			// first argument, fmt.Print* writes stdout. Either way the
 			// stream sees map order.
 			if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
-				if base := rootIdent(call.Args[0]); base != nil && !declaredOutside(pass, body, base) {
+				if base := astutil.RootIdent(call.Args[0]); base != nil && !declaredOutside(pass.TypesInfo, body, base) {
 					return // writer is loop-local; per-iteration output
 				}
 				pass.Reportf(rng.Pos(), "%s inside range over map: output order follows randomized map iteration; iterate sorted keys instead", callName(fun))
@@ -119,7 +120,7 @@ func checkCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
 		if !orderSensitiveMethodName(name) {
 			return
 		}
-		if base := rootIdent(fun.X); base != nil && !declaredOutside(pass, body, base) {
+		if base := astutil.RootIdent(fun.X); base != nil && !declaredOutside(pass.TypesInfo, body, base) {
 			return // loop-local builder; order cannot leak out whole
 		}
 		pass.Reportf(rng.Pos(), "%s inside range over map: output order follows randomized map iteration; iterate sorted keys instead", callName(fun))
@@ -160,8 +161,8 @@ func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
 		return
 	}
 	for _, lhs := range as.Lhs {
-		base := rootIdent(lhs)
-		if base == nil || !declaredOutside(pass, body, base) {
+		base := astutil.RootIdent(lhs)
+		if base == nil || !declaredOutside(pass.TypesInfo, body, base) {
 			continue
 		}
 		t := pass.TypesInfo.TypeOf(lhs)
@@ -174,40 +175,10 @@ func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
 	}
 }
 
-// rootIdent returns the base identifier of expr (x, x.f, x[i] → x).
-func rootIdent(expr ast.Expr) *ast.Ident {
-	for {
-		switch e := expr.(type) {
-		case *ast.Ident:
-			return e
-		case *ast.SelectorExpr:
-			expr = e.X
-		case *ast.IndexExpr:
-			expr = e.X
-		case *ast.ParenExpr:
-			expr = e.X
-		case *ast.StarExpr:
-			expr = e.X
-		case *ast.UnaryExpr:
-			expr = e.X // &b: the writer is still b
-		default:
-			return nil
-		}
-	}
-}
-
 // declaredOutside reports whether id's object is declared outside body,
 // i.e. the loop is mutating state that survives the iteration.
-func declaredOutside(pass *analysis.Pass, body *ast.BlockStmt, id *ast.Ident) bool {
-	obj := pass.TypesInfo.ObjectOf(id)
-	if obj == nil {
-		return false
-	}
-	pos := obj.Pos()
-	if !pos.IsValid() {
-		return false
-	}
-	return pos < body.Pos() || pos > body.End()
+func declaredOutside(info *types.Info, body *ast.BlockStmt, id *ast.Ident) bool {
+	return astutil.DeclaredOutside(info, body, body, id)
 }
 
 // isBuiltinAppend reports whether id resolves to the append builtin.

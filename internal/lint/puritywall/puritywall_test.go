@@ -1,0 +1,21 @@
+package puritywall_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/puritywall"
+)
+
+func TestPurityWall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	// Helpers load first so their bodies join the call graph; order is
+	// otherwise immaterial (nodes are keyed by FullName).
+	analysistest.RunProgram(t, analysistest.TestData(t), puritywall.Analyzer,
+		"purehelper",
+		"varsim/internal/fleet/contractfix",
+		"varsim/internal/core/purefix",
+	)
+}

@@ -1,0 +1,32 @@
+// Package purehelper is a fixture helper *outside* the determinism
+// wall and outside the contract boundary: wall code reaching its
+// impure functions must be flagged with the full call path.
+package purehelper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock carries an impure method for the method-value fixture.
+type Clock struct{}
+
+// Read consults the wall clock.
+func (Clock) Read() int64 { return time.Now().UnixNano() }
+
+// Stamp consults the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Indirect reaches the wall clock one hop down.
+func Indirect() int64 { return Stamp() }
+
+// Spawn leaks a goroutine that reads the clock.
+func Spawn() { go leak() }
+
+func leak() { _ = time.Now() }
+
+// Draw consults the process-wide rand source.
+func Draw() float64 { return rand.Float64() }
+
+// Pure is deterministically computable.
+func Pure(x int) int { return x + 1 }

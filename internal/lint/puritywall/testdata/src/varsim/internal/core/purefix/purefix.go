@@ -1,0 +1,103 @@
+// Package purefix is a wall-scoped fixture (its registered import
+// path sits under varsim/internal/core) exercising every edge kind the
+// puritywall analyzer must trace: direct sink calls, transitive call
+// chains, method values, function-typed fields, goroutine launches,
+// the contract boundary, intra-wall chain collapsing, and the
+// //varsim:allow escape hatch.
+package purefix
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"purehelper"
+	"varsim/internal/fleet/contractfix"
+)
+
+// Direct sinks report themselves with a one-hop path.
+
+func direct() time.Time {
+	return time.Now() // want `determinism-wall breach: core/purefix\.direct calls time\.Now \(wall-clock read\)`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `core/purefix\.globalRand calls math/rand\.Float64 \(process-wide rand source\)`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `core/purefix\.env calls os\.Getenv \(environment read\)`
+}
+
+func shape() int {
+	return runtime.GOMAXPROCS(0) // want `core/purefix\.shape calls runtime\.GOMAXPROCS \(host shape query\)`
+}
+
+// Transitive chains report at the wall-crossing edge with the full
+// path to the sink.
+
+func transitive() int64 {
+	return purehelper.Indirect() // want `core/purefix\.transitive calls purehelper\.Indirect; purehelper\.Indirect calls purehelper\.Stamp; purehelper\.Stamp calls time\.Now \(wall-clock read\)`
+}
+
+func viaSpawn() {
+	purehelper.Spawn() // want `core/purefix\.viaSpawn calls purehelper\.Spawn; purehelper\.Spawn launches goroutine purehelper\.leak; purehelper\.leak calls time\.Now \(wall-clock read\)`
+}
+
+func viaRand() float64 {
+	return purehelper.Draw() // want `core/purefix\.viaRand calls purehelper\.Draw; purehelper\.Draw calls math/rand\.Float64 \(process-wide rand source\)`
+}
+
+// A method value is a reference edge: taking it makes the method
+// reachable.
+
+func methodValue() int64 {
+	c := purehelper.Clock{}
+	read := c.Read // want `core/purefix\.methodValue references \(purehelper\.Clock\)\.Read; \(purehelper\.Clock\)\.Read calls time\.Now \(wall-clock read\)`
+	return read()
+}
+
+// Storing a function in a function-typed field is a reference edge;
+// the later dynamic call through the field adds nothing.
+
+type sampler struct{ hook func() int64 }
+
+func field() int64 {
+	var s sampler
+	s.hook = purehelper.Stamp // want `core/purefix\.field references purehelper\.Stamp; purehelper\.Stamp calls time\.Now \(wall-clock read\)`
+	return s.hook()
+}
+
+// A goroutine launched straight from wall code is a Go edge (detwall
+// flags the `go` statement itself; puritywall traces what it runs).
+
+func launch() {
+	go purehelper.Stamp() // want `core/purefix\.launch launches goroutine purehelper\.Stamp; purehelper\.Stamp calls time\.Now \(wall-clock read\)`
+}
+
+// An intra-wall chain reports only at its last hop: inner carries the
+// diagnostic, outer stays silent (fixing inner fixes outer).
+
+func outer() int64 { return inner() }
+
+func inner() int64 {
+	return time.Now().UnixNano() // want `core/purefix\.inner calls time\.Now \(wall-clock read\)`
+}
+
+// The contract boundary stops the search: contractfix sits under
+// varsim/internal/fleet, so its wall-clock read does not taint wall
+// callers.
+
+func contractOK() int64 { return contractfix.Sample() }
+
+// Pure transitive calls stay silent.
+
+func pure() int { return purehelper.Pure(41) }
+
+// The escape hatch works exactly as for the per-package analyzers.
+
+func allowed() int64 {
+	//varsim:allow puritywall fixture exercises the escape hatch
+	return purehelper.Stamp()
+}

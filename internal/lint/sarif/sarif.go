@@ -1,0 +1,151 @@
+// Package sarif renders varsimlint findings as a SARIF 2.1.0 log —
+// the interchange format GitHub code scanning, VS Code and most lint
+// aggregators ingest. Only the slice of the format varsimlint needs is
+// modeled: one run, one driver, a rule per analyzer, a result per
+// finding with a physical location and the finding's fingerprint under
+// partialFingerprints so re-runs correlate results across commits.
+package sarif
+
+import (
+	"varsim/internal/lint"
+	"varsim/internal/lint/analysis"
+)
+
+// SchemaURI and Version identify SARIF 2.1.0.
+const (
+	SchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	Version   = "2.1.0"
+)
+
+// FingerprintKey names varsimlint's entry in partialFingerprints.
+const FingerprintKey = "varsimlint/v1"
+
+// Log is the top-level SARIF document.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one invocation of the tool.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver description.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes varsimlint and its rule set.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+// Rule is one analyzer.
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+}
+
+// Message is SARIF's multiformatMessageString / message object.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             Message           `json:"message"`
+	Locations           []Location        `json:"locations,omitempty"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+// Location wraps a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation is a file + region reference.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           *Region          `json:"region,omitempty"`
+}
+
+// ArtifactLocation is a repo-relative file URI.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is a line/column span.
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Convert renders findings against the analyzer set that produced
+// them. Findings whose Category is not an analyzer (the driver's own
+// "directive" findings) get an ad-hoc rule appended so every result
+// still resolves a ruleIndex.
+func Convert(analyzers []*analysis.Analyzer, findings []lint.Finding) *Log {
+	var rules []Rule
+	index := map[string]int{}
+	addRule := func(id, doc string) int {
+		if i, ok := index[id]; ok {
+			return i
+		}
+		index[id] = len(rules)
+		rules = append(rules, Rule{ID: id, ShortDescription: Message{Text: doc}})
+		return index[id]
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, firstLine(a.Doc))
+	}
+
+	results := make([]Result, 0, len(findings))
+	for _, f := range findings {
+		doc := f.Analyzer
+		if a := lint.ByName(f.Analyzer); a != nil {
+			doc = firstLine(a.Doc)
+		}
+		r := Result{
+			RuleID:    f.Analyzer,
+			RuleIndex: addRule(f.Analyzer, doc),
+			Level:     "error",
+			Message:   Message{Text: f.Message},
+		}
+		if f.ID != "" {
+			r.PartialFingerprints = map[string]string{FingerprintKey: f.ID}
+		}
+		if f.File != "" {
+			r.Locations = []Location{{PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: f.File},
+				Region:           &Region{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}}
+		}
+		results = append(results, r)
+	}
+
+	return &Log{
+		Schema:  SchemaURI,
+		Version: Version,
+		Runs: []Run{{
+			Tool:    Tool{Driver: Driver{Name: "varsimlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

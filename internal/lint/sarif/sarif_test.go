@@ -1,0 +1,193 @@
+package sarif_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"varsim/internal/lint"
+	"varsim/internal/lint/sarif"
+)
+
+func sampleFindings() []lint.Finding {
+	return []lint.Finding{
+		{
+			ID:       "deadbeefdeadbeef",
+			Analyzer: "maporder",
+			Pos:      token.Position{Filename: "/abs/internal/core/core.go", Line: 42, Column: 7},
+			File:     "internal/core/core.go",
+			Message:  "append to out inside range over map m",
+		},
+		{
+			ID:       "cafecafecafecafe",
+			Analyzer: "puritywall",
+			Pos:      token.Position{Filename: "/abs/internal/sim/sim.go", Line: 9, Column: 1},
+			File:     "internal/sim/sim.go",
+			Message:  "determinism-wall breach: sim.Tick calls time.Now (wall-clock read)",
+		},
+		{
+			// A driver-level finding with no position still serializes.
+			ID:       "0123456789abcdef",
+			Analyzer: "directive",
+			Message:  "malformed varsim:allow: missing analyzer name and reason",
+		},
+	}
+}
+
+// TestConvertValidatesAgainstSchema marshals a converted log and checks
+// it against the checked-in subset of the SARIF 2.1.0 schema.
+func TestConvertValidatesAgainstSchema(t *testing.T) {
+	log := sarif.Convert(lint.Analyzers(), sampleFindings())
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := loadSchema(t)
+	var doc interface{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if errs := validate(schema, schema, doc, "$"); len(errs) > 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+	}
+}
+
+// TestConvertShape pins the fields downstream consumers key on.
+func TestConvertShape(t *testing.T) {
+	log := sarif.Convert(lint.Analyzers(), sampleFindings())
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "varsimlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+
+	r := run.Results[0]
+	if r.RuleID != "maporder" || r.Level != "error" {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r.RuleIndex < 0 || run.Tool.Driver.Rules[r.RuleIndex].ID != "maporder" {
+		t.Errorf("ruleIndex %d does not resolve to maporder", r.RuleIndex)
+	}
+	if got := r.PartialFingerprints[sarif.FingerprintKey]; got != "deadbeefdeadbeef" {
+		t.Errorf("fingerprint = %q", got)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/core.go" {
+		t.Errorf("uri = %q (must be repo-relative)", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+
+	// The positionless directive finding: no locations, ad-hoc rule.
+	d := run.Results[2]
+	if len(d.Locations) != 0 {
+		t.Errorf("directive finding has locations: %+v", d.Locations)
+	}
+	if run.Tool.Driver.Rules[d.RuleIndex].ID != "directive" {
+		t.Errorf("directive ruleIndex %d does not resolve", d.RuleIndex)
+	}
+}
+
+// --- a minimal JSON-schema-subset validator ---
+//
+// Supports exactly what the trimmed schema uses: $ref into
+// definitions, type (object/array/string/integer), required,
+// properties, items, enum, minimum. Unknown JSON properties are
+// allowed, as in SARIF itself.
+
+func loadSchema(t *testing.T) map[string]interface{} {
+	t.Helper()
+	data, err := os.ReadFile("testdata/sarif-schema-2.1.0-subset.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema map[string]interface{}
+	if err := json.Unmarshal(data, &schema); err != nil {
+		t.Fatalf("schema does not parse: %v", err)
+	}
+	return schema
+}
+
+func validate(root, schema map[string]interface{}, doc interface{}, path string) []string {
+	if ref, ok := schema["$ref"].(string); ok {
+		name := strings.TrimPrefix(ref, "#/definitions/")
+		defs, _ := root["definitions"].(map[string]interface{})
+		next, ok := defs[name].(map[string]interface{})
+		if !ok {
+			return []string{fmt.Sprintf("%s: unresolvable $ref %q", path, ref)}
+		}
+		return validate(root, next, doc, path)
+	}
+	var errs []string
+	if enum, ok := schema["enum"].([]interface{}); ok {
+		found := false
+		for _, v := range enum {
+			if v == doc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Sprintf("%s: %v not in enum %v", path, doc, enum))
+		}
+		return errs
+	}
+	switch schema["type"] {
+	case "object":
+		obj, ok := doc.(map[string]interface{})
+		if !ok {
+			return []string{fmt.Sprintf("%s: not an object", path)}
+		}
+		if req, ok := schema["required"].([]interface{}); ok {
+			for _, r := range req {
+				if _, present := obj[r.(string)]; !present {
+					errs = append(errs, fmt.Sprintf("%s: missing required property %q", path, r))
+				}
+			}
+		}
+		props, _ := schema["properties"].(map[string]interface{})
+		for name, sub := range props {
+			if v, present := obj[name]; present {
+				errs = append(errs, validate(root, sub.(map[string]interface{}), v, path+"."+name)...)
+			}
+		}
+	case "array":
+		arr, ok := doc.([]interface{})
+		if !ok {
+			return []string{fmt.Sprintf("%s: not an array", path)}
+		}
+		if items, ok := schema["items"].(map[string]interface{}); ok {
+			for i, v := range arr {
+				errs = append(errs, validate(root, items, v, fmt.Sprintf("%s[%d]", path, i))...)
+			}
+		}
+	case "string":
+		if _, ok := doc.(string); !ok {
+			errs = append(errs, fmt.Sprintf("%s: not a string", path))
+		}
+	case "integer":
+		n, ok := doc.(float64)
+		if !ok || n != float64(int64(n)) {
+			errs = append(errs, fmt.Sprintf("%s: not an integer", path))
+			break
+		}
+		if min, ok := schema["minimum"].(float64); ok && n < min {
+			errs = append(errs, fmt.Sprintf("%s: %v below minimum %v", path, n, min))
+		}
+	}
+	return errs
+}

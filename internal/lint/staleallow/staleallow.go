@@ -1,0 +1,52 @@
+// Package staleallow audits the //varsim:allow escape hatch itself. A
+// directive that no longer suppresses anything is worse than dead code:
+// its reason keeps asserting a justification for a violation that no
+// longer exists, and a later edit can slide a *new* violation under the
+// stale blanket unnoticed. The audit runs in the driver after
+// suppression is applied, because only the driver knows which allows
+// fired — directive.Apply returns the usage mask this package consumes.
+package staleallow
+
+import (
+	"fmt"
+
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/directive"
+)
+
+// Analyzer describes the audit for -list and documentation; the check
+// itself runs driver-side via Check (it needs the cross-analyzer usage
+// mask, which no per-package or per-program pass sees).
+var Analyzer = &analysis.Analyzer{
+	Name: "staleallow",
+	Doc:  "flag varsim:allow directives that no longer suppress any diagnostic",
+}
+
+// Check reports directives that did nothing. allows and used are the
+// parallel slices from directive.Apply, accumulated over every package
+// the driver analyzed. ran reports whether the named analyzer executed
+// this run (an allow for a skipped analyzer is not stale — the
+// diagnostic it suppresses was never produced); known reports whether
+// the name denotes any analyzer in the suite at all.
+func Check(allows []directive.Allow, used []bool, ran func(name string) bool, known func(name string) bool) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for i, a := range allows {
+		switch {
+		case !known(a.Analyzer):
+			out = append(out, analysis.Diagnostic{
+				Pos:      a.Pos,
+				Category: Analyzer.Name,
+				Message:  fmt.Sprintf("varsim:allow names unknown analyzer %q: fix the name or delete the directive", a.Analyzer),
+			})
+		case used[i] || !ran(a.Analyzer):
+			// Earned its keep, or its analyzer was skipped this run.
+		default:
+			out = append(out, analysis.Diagnostic{
+				Pos:      a.Pos,
+				Category: Analyzer.Name,
+				Message:  fmt.Sprintf("stale varsim:allow %s (%s): no diagnostic suppressed; delete the directive", a.Analyzer, a.Reason),
+			})
+		}
+	}
+	return out
+}

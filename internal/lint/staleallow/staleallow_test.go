@@ -1,0 +1,61 @@
+package staleallow_test
+
+import (
+	"strings"
+	"testing"
+
+	"varsim/internal/lint/directive"
+	"varsim/internal/lint/staleallow"
+)
+
+func TestCheck(t *testing.T) {
+	allows := []directive.Allow{
+		{Analyzer: "maporder", Reason: "sorted below", Line: 10, File: "a.go"},
+		{Analyzer: "maporder", Reason: "obsolete", Line: 20, File: "a.go"},
+		{Analyzer: "nosuch", Reason: "typo", Line: 30, File: "a.go"},
+		{Analyzer: "seedflow", Reason: "skipped this run", Line: 40, File: "a.go"},
+	}
+	used := []bool{true, false, false, false}
+	ran := func(name string) bool { return name != "seedflow" }
+	known := func(name string) bool { return name == "maporder" || name == "seedflow" }
+
+	diags := staleallow.Check(allows, used, ran, known)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	// Order follows the allows slice: the stale maporder (index 1),
+	// then the unknown name (index 2). The used directive and the
+	// skipped-analyzer directive stay silent.
+	if !strings.Contains(diags[0].Message, "stale varsim:allow maporder") {
+		t.Errorf("diag 0 = %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nosuch"`) {
+		t.Errorf("diag 1 = %q", diags[1].Message)
+	}
+}
+
+func TestCheckOrderAndMessages(t *testing.T) {
+	allows := []directive.Allow{
+		{Analyzer: "maporder", Reason: "obsolete", Line: 20, File: "a.go"},
+		{Analyzer: "nosuch", Reason: "typo", Line: 30, File: "a.go"},
+	}
+	used := []bool{false, false}
+	all := func(string) bool { return true }
+	knownSet := func(name string) bool { return name == "maporder" }
+
+	diags := staleallow.Check(allows, used, all, knownSet)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	if want := "stale varsim:allow maporder (obsolete): no diagnostic suppressed; delete the directive"; diags[0].Message != want {
+		t.Errorf("diag 0 = %q, want %q", diags[0].Message, want)
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nosuch"`) {
+		t.Errorf("diag 1 = %q", diags[1].Message)
+	}
+	for _, d := range diags {
+		if d.Category != "staleallow" {
+			t.Errorf("category = %q, want staleallow", d.Category)
+		}
+	}
+}

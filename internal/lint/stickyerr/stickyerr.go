@@ -1,0 +1,86 @@
+// Package stickyerr flags discarded errors from the APIs whose failure
+// silently corrupts an experiment: journal.Writer (Append's error is
+// sticky — dropping Close/Err at teardown loses every buffered append
+// failure) and fleet.Run/Map (a discarded error means partial results
+// get merged as if complete). Call sites that discard on purpose — the
+// hot-path Append whose error the CLI collects from Writer.Err at
+// teardown — carry an audited //varsim:allow stickyerr directive.
+package stickyerr
+
+import (
+	"go/ast"
+
+	"varsim/internal/lint/analysis"
+	"varsim/internal/lint/astutil"
+)
+
+// Analyzer is the stickyerr analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "stickyerr",
+	Doc:  "flag discarded errors from journal.Writer Append/Close and fleet.Run/Map",
+	Run:  run,
+}
+
+// targets maps a watched function's FullName to the label used in
+// diagnostics.
+var targets = map[string]string{
+	"(*varsim/internal/journal.Writer).Append": "journal.Writer.Append",
+	"(*varsim/internal/journal.Writer).Close":  "journal.Writer.Close",
+	"varsim/internal/fleet.Run":                "fleet.Run",
+	"varsim/internal/fleet.Map":                "fleet.Map",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if label := targetOf(pass, n.X); label != "" {
+					pass.Reportf(n.Pos(), "error from %s discarded: check it (or collect it from Writer.Err at teardown)", label)
+				}
+			case *ast.GoStmt:
+				if label := targetOf(pass, n.Call); label != "" {
+					pass.Reportf(n.Pos(), "error from %s discarded by go statement: the result is unrecoverable", label)
+				}
+			case *ast.DeferStmt:
+				if label := targetOf(pass, n.Call); label != "" {
+					pass.Reportf(n.Pos(), "error from %s discarded by defer: capture it in a named return or check it inline", label)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkAssign flags a, _ := fleet.Run(...) style assignments whose
+// trailing (error) result lands in the blank identifier.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	label := targetOf(pass, as.Rhs[0])
+	if label == "" {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(as.Pos(), "error from %s assigned to _: check it (or collect it from Writer.Err at teardown)", label)
+	}
+}
+
+// targetOf returns the diagnostic label when expr is a call to one of
+// the watched functions, or "".
+func targetOf(pass *analysis.Pass, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	fn := astutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	return targets[fn.Origin().FullName()]
+}

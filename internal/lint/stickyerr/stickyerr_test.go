@@ -1,0 +1,15 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/stickyerr"
+)
+
+func TestStickyErr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	analysistest.Run(t, analysistest.TestData(t), stickyerr.Analyzer, "stickyfix")
+}

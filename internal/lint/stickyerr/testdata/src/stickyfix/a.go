@@ -1,0 +1,53 @@
+// Package stickyfix exercises stickyerr against the real journal and
+// fleet APIs: discarded errors are flagged in every spelling (bare
+// call, go, defer, blank assign); checked errors and audited allows
+// are not.
+package stickyfix
+
+import (
+	"varsim/internal/fleet"
+	"varsim/internal/journal"
+)
+
+func dropAppend(w *journal.Writer, r journal.Record) {
+	w.Append(r) // want `error from journal\.Writer\.Append discarded`
+}
+
+func checkAppend(w *journal.Writer, r journal.Record) error {
+	return w.Append(r)
+}
+
+func goAppend(w *journal.Writer, r journal.Record) {
+	go w.Append(r) // want `error from journal\.Writer\.Append discarded by go statement`
+}
+
+func deferClose(w *journal.Writer) {
+	defer w.Close() // want `error from journal\.Writer\.Close discarded by defer`
+}
+
+func blankClose(w *journal.Writer) {
+	_ = w.Close() // want `error from journal\.Writer\.Close assigned to _`
+}
+
+func checkClose(w *journal.Writer) error {
+	return w.Close()
+}
+
+func blankFleetMap() []int {
+	res, _ := fleet.Map(2, 4, func(i int) (int, error) { return i, nil }) // want `error from fleet\.Map assigned to _`
+	return res
+}
+
+func blankFleetRun() []int {
+	res, _ := fleet.Run(fleet.Options[int]{}, 4, func(i int) (int, error) { return i, nil }) // want `error from fleet\.Run assigned to _`
+	return res
+}
+
+func checkFleet() ([]int, error) {
+	return fleet.Map(2, 4, func(i int) (int, error) { return i, nil })
+}
+
+func allowedAppend(w *journal.Writer, r journal.Record) {
+	//varsim:allow stickyerr hot path: the CLI collects Writer.Err at teardown
+	w.Append(r)
+}

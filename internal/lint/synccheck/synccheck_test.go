@@ -1,0 +1,15 @@
+package synccheck_test
+
+import (
+	"testing"
+
+	"varsim/internal/lint/analysistest"
+	"varsim/internal/lint/synccheck"
+)
+
+func TestSyncCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	analysistest.Run(t, analysistest.TestData(t), synccheck.Analyzer, "syncfix")
+}
