@@ -4,8 +4,11 @@
 # scheduler, the metrics registry and its process-wide cycle counter,
 # the heartbeat goroutine, the trace buffer, the live observability
 # server, the crash-safety layer: the result journal, the fault
-# injector and the core resume path above them — and the lint call
-# graph, whose builder tests run concurrent type-checks). `make lint`
+# injector and the core resume path above them — the lint call
+# graph, whose builder tests run concurrent type-checks — and the
+# copy-on-write layers: the machine's frozen-base snapshot path and the
+# checkpoint base cache, whose tests branch siblings from shared frozen
+# state concurrently). `make lint`
 # runs varsimlint, the determinism-contract analyzer suite (detwall,
 # puritywall, seedflow, maporder, kindexhaust inside the wall;
 # synccheck, stickyerr, floatorder outside it; staleallow auditing the
@@ -21,7 +24,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-json bench-digest vet lint lint-sarif lint-baseline race fuzz-smoke check clean
+.PHONY: all build test bench bench-json bench-digest bench-snapshot vet lint lint-sarif lint-baseline race fuzz-smoke check clean
 
 all: build
 
@@ -50,6 +53,13 @@ bench-json:
 bench-digest:
 	$(GO) run ./cmd/benchjson -bench 'RunDigests' -benchtime 10x -count 5 -out BENCH_digest.json
 
+# Copy-on-write snapshot record: the COW/deep snapshot pair plus the
+# branch-then-touch pair (write-fault tax), five repeats folded to min
+# ns/op, with the computed snapshot_speedup / snapshot_bytes_ratio
+# (acceptance: >=5x and >=10x vs the materialized deep clone).
+bench-snapshot:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkSnapshot$$|BenchmarkSnapshotDeep$$|BranchThenTouch' -benchtime 10x -count 5 -out BENCH_snapshot.json
+
 vet:
 	$(GO) vet ./...
 
@@ -66,7 +76,7 @@ lint-baseline:
 	$(GO) run ./cmd/varsimlint -baseline lint.baseline.json -write-baseline ./...
 
 race:
-	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs ./internal/journal ./internal/faultinject ./internal/core ./internal/precision ./internal/lint/callgraph
+	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs ./internal/journal ./internal/faultinject ./internal/core ./internal/precision ./internal/lint/callgraph ./internal/machine ./internal/checkpoint
 
 # Go's fuzzer accepts one target per invocation; each run seeds from the
 # committed corpus under the package's testdata/fuzz and then mutates

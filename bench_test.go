@@ -93,6 +93,62 @@ func BenchmarkSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotDeep is BenchmarkSnapshot's eager endpoint: each
+// snapshot is immediately materialized into a full deep copy. The pair
+// prices copy-on-write branching against the deep clone it replaced —
+// the ns/op and bytes/op ratios are the snapshot_speedup and
+// snapshot_bytes_ratio recorded in BENCH_snapshot.json.
+func BenchmarkSnapshotDeep(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 8
+	wl, _ := NewWorkload("oltp", cfg, 1)
+	m, _ := NewMachine(cfg, wl, 1)
+	if _, err := m.Run(100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Snapshot()
+		s.Materialize()
+	}
+}
+
+// benchBranchThenTouch measures a realistic branch: snapshot the warmed
+// base, re-seed, and simulate a short measurement window. The COW/deep
+// pair isolates the write-fault tax — the page copies a branch performs
+// lazily as the window touches state — from the up-front clone cost:
+// COW pays it inside Run, the deep variant pays everything at
+// Materialize time and faults nothing.
+func benchBranchThenTouch(b *testing.B, deep bool) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 8
+	wl, err := NewWorkload("oltp", cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(cfg, wl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Snapshot()
+		if deep {
+			s.Materialize()
+		}
+		s.SetPerturbSeed(uint64(i) + 1)
+		if _, err := s.Run(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchThenTouch(b *testing.B)     { benchBranchThenTouch(b, false) }
+func BenchmarkBranchThenTouchDeep(b *testing.B) { benchBranchThenTouch(b, true) }
+
 // benchBranchSpace measures the quick OLTP space (8 perturbed runs
 // branched from one warmed checkpoint) at a given fleet width. The
 // sequential/parallel pair quantifies the fleet scheduler's speedup;

@@ -61,6 +61,19 @@ type Document struct {
 	// pair (acceptance: under 5%). Recorded whenever both ran, even at
 	// 0%, so the artifact states the overhead explicitly.
 	DigestOverheadPct *float64 `json:"digest_overhead_pct,omitempty"`
+	// SnapshotSpeedup and SnapshotBytesRatio compare the eager deep
+	// clone (BenchmarkSnapshotDeep) against the copy-on-write snapshot
+	// (BenchmarkSnapshot) in ns/op and bytes/op respectively — the
+	// BENCH_snapshot.json acceptance ratios (>=5x and >=10x). Both are
+	// host-relative, so the gate holds on any machine.
+	SnapshotSpeedup    float64 `json:"snapshot_speedup,omitempty"`
+	SnapshotBytesRatio float64 `json:"snapshot_bytes_ratio,omitempty"`
+	// BranchTouchSpeedup is the end-to-end win for a realistic branch —
+	// snapshot plus a short measurement window — from the
+	// BranchThenTouch pair. The gap between SnapshotSpeedup and this
+	// ratio is the write-fault tax: page copies a copy-on-write branch
+	// performs lazily as the window touches state.
+	BranchTouchSpeedup float64 `json:"branch_touch_speedup,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -149,6 +162,19 @@ func main() {
 		pct := (on.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
 		doc.DigestOverheadPct = &pct
 	}
+	cow, okCow := byName["BenchmarkSnapshot"]
+	deep, okDeep := byName["BenchmarkSnapshotDeep"]
+	if okCow && okDeep && cow.NsPerOp > 0 {
+		doc.SnapshotSpeedup = deep.NsPerOp / cow.NsPerOp
+		if cow.BytesPerOp > 0 {
+			doc.SnapshotBytesRatio = float64(deep.BytesPerOp) / float64(cow.BytesPerOp)
+		}
+	}
+	touch, okT := byName["BenchmarkBranchThenTouch"]
+	touchDeep, okTD := byName["BenchmarkBranchThenTouchDeep"]
+	if okT && okTD && touch.NsPerOp > 0 {
+		doc.BranchTouchSpeedup = touchDeep.NsPerOp / touch.NsPerOp
+	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -166,6 +192,13 @@ func main() {
 	}
 	if doc.DigestOverheadPct != nil {
 		fmt.Printf(" (digest overhead %+.2f%%)", *doc.DigestOverheadPct)
+	}
+	if doc.SnapshotSpeedup > 0 {
+		fmt.Printf(" (snapshot %.1fx faster, %.1fx smaller than deep clone)",
+			doc.SnapshotSpeedup, doc.SnapshotBytesRatio)
+	}
+	if doc.BranchTouchSpeedup > 0 {
+		fmt.Printf(" (branch+touch %.2fx)", doc.BranchTouchSpeedup)
 	}
 	fmt.Println()
 }

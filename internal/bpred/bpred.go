@@ -42,6 +42,12 @@ type Unit struct {
 	ras    []uint64
 	rasTop int
 
+	// shared marks the tables (all six slices) as aliased with another
+	// Unit after a copy-on-write Clone; the first table write copies
+	// them (see ensureOwned). Scalar state — ghr, rasTop, counters — is
+	// copied by value at Clone time and never shared.
+	shared bool
+
 	CondSeen  uint64
 	CondMiss  uint64
 	IndSeen   uint64
@@ -105,6 +111,7 @@ func dec(c uint8) uint8 {
 // predictor with the actual outcome. It returns whether the prediction
 // was correct.
 func (u *Unit) PredictCond(site uint32, taken bool) bool {
+	u.ensureOwned()
 	u.CondSeen++
 	ci := site & u.choiceMsk
 	ei := (site ^ uint32(u.ghr)) & u.excMsk
@@ -207,6 +214,7 @@ func updateInd(e *indEntry, site uint32, target uint64) {
 // mispredicts (cascaded filtering), and both stages use hysteresis so
 // the dominant target survives occasional alternates.
 func (u *Unit) PredictIndirect(site uint32, target uint64) bool {
+	u.ensureOwned()
 	u.IndSeen++
 	e1 := &u.ind1[int(site)%len(u.ind1)]
 	e2 := &u.ind2[int(site^uint32(u.ghr&0xff))%len(u.ind2)]
@@ -233,6 +241,7 @@ func (u *Unit) PredictIndirect(site uint32, target uint64) bool {
 
 // Call pushes a return address on the RAS.
 func (u *Unit) Call(retAddr uint64) {
+	u.ensureOwned()
 	if u.rasTop == len(u.ras) {
 		// Overflow: discard the oldest entry.
 		copy(u.ras, u.ras[1:])
@@ -266,14 +275,45 @@ func (u *Unit) CondAccuracy() float64 {
 	return 1 - float64(u.CondMiss)/float64(u.CondSeen)
 }
 
-// Clone deep-copies the unit.
+// Freeze relinquishes table ownership so the unit can be cloned
+// cheaply: both the unit and its future clones copy the tables on
+// their next table write. Ret only moves the stack pointer, so it
+// stays copy-free. Freeze on an already-frozen unit performs no write,
+// so concurrent Clones of a frozen unit are safe.
+func (u *Unit) Freeze() {
+	if !u.shared {
+		u.shared = true
+	}
+}
+
+// ensureOwned copies the shared tables before the first write after a
+// copy-on-write Clone. The whole unit materializes at once (~13 KiB at
+// the default geometry): predictor updates ride every conditional
+// branch, so per-table laziness would buy a few kilobytes at the cost
+// of a flag check per table access.
+func (u *Unit) ensureOwned() {
+	if !u.shared {
+		return
+	}
+	u.shared = false
+	u.choice = append([]uint8(nil), u.choice...)
+	u.excT = append([]entry(nil), u.excT...)
+	u.excNT = append([]entry(nil), u.excNT...)
+	u.ind1 = append([]indEntry(nil), u.ind1...)
+	u.ind2 = append([]indEntry(nil), u.ind2...)
+	u.ras = append([]uint64(nil), u.ras...)
+}
+
+// Materialize forces table ownership, making the unit a full deep
+// copy (the eager endpoint of the copy-on-write pair).
+func (u *Unit) Materialize() { u.ensureOwned() }
+
+// Clone returns a copy sharing the tables copy-on-write. Cloning
+// freezes u if needed (a write); to clone one unit from several
+// goroutines at once, Freeze it first — Clone on a frozen unit is
+// read-only.
 func (u *Unit) Clone() *Unit {
+	u.Freeze()
 	cp := *u
-	cp.choice = append([]uint8(nil), u.choice...)
-	cp.excT = append([]entry(nil), u.excT...)
-	cp.excNT = append([]entry(nil), u.excNT...)
-	cp.ind1 = append([]indEntry(nil), u.ind1...)
-	cp.ind2 = append([]indEntry(nil), u.ind2...)
-	cp.ras = append([]uint64(nil), u.ras...)
 	return &cp
 }

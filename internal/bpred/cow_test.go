@@ -1,0 +1,89 @@
+package bpred
+
+import (
+	"testing"
+
+	"varsim/internal/digest"
+	"varsim/internal/rng"
+)
+
+// sig folds the full predictor state (tables included) into one word.
+func sig(u *Unit) uint64 {
+	h := digest.New()
+	u.HashInto(&h, true)
+	return h.Sum()
+}
+
+// train drives a deterministic mix of conditional, indirect and
+// call/return traffic through the unit.
+func train(u *Unit, seed uint64, n int) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		u.PredictCond(uint32(r.Intn(64)), r.Bool(0.7))
+		u.PredictIndirect(uint32(r.Intn(16)), uint64(r.Intn(4))*8)
+		if r.Bool(0.5) {
+			u.Call(uint64(i))
+		} else {
+			u.Ret(uint64(i))
+		}
+	}
+}
+
+// TestCloneIsolation: after a copy-on-write Clone, training the parent
+// never changes the clone's tables, and vice versa.
+func TestCloneIsolation(t *testing.T) {
+	u := unit()
+	train(u, 1, 500)
+	cp := u.Clone()
+	before := sig(cp)
+
+	train(u, 2, 500) // parent writes every table
+	if sig(cp) != before {
+		t.Fatal("parent training leaked into the clone")
+	}
+	parentSig := sig(u)
+	train(cp, 3, 500) // clone writes every table
+	if sig(u) != parentSig {
+		t.Fatal("clone training leaked into the parent")
+	}
+}
+
+// TestCloneMatchesDeep: a COW clone and a materialized deep copy driven
+// with the identical traffic stay bit-for-bit in agreement.
+func TestCloneMatchesDeep(t *testing.T) {
+	u := unit()
+	train(u, 7, 300)
+	cow := u.Clone()
+	deep := u.Clone()
+	deep.Materialize()
+	if sig(cow) != sig(deep) {
+		t.Fatal("Materialize changed the state signature")
+	}
+	train(cow, 9, 400)
+	train(deep, 9, 400)
+	if sig(cow) != sig(deep) {
+		t.Fatal("COW clone diverged from the deep copy under identical traffic")
+	}
+}
+
+// TestFrozenCloneWriteFree: Freeze latches, and Clone of a frozen unit
+// performs no writes to the parent (the concurrent-snapshot contract).
+func TestFrozenCloneWriteFree(t *testing.T) {
+	u := unit()
+	train(u, 11, 200)
+	u.Freeze()
+	if !u.shared {
+		t.Fatal("Freeze did not latch")
+	}
+	before := sig(u)
+	_ = u.Clone()
+	_ = u.Clone()
+	if !u.shared || sig(u) != before {
+		t.Fatal("Clone of a frozen unit wrote to the parent")
+	}
+	// Ret moves only the stack pointer and must stay copy-free.
+	u.Ret(0)
+	if !u.shared {
+		t.Fatal("Ret materialized the tables")
+	}
+}

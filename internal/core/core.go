@@ -328,9 +328,11 @@ func (e Experiment) CachedSpace() (Space, bool) {
 //
 // Each branch is a pure job — a private Snapshot clone re-seeded from
 // (seedBase, index) — and the fleet merges results by job index, so the
-// space is byte-identical for every worker count. Snapshot only reads
-// the checkpoint, which stays quiescent for the duration, so the clones
-// may be taken concurrently inside the jobs.
+// space is byte-identical for every worker count. The checkpoint is
+// frozen (machine.Machine.Freeze) before the fleet starts: Snapshot on
+// a frozen machine only reads it, and it stays quiescent for the
+// duration, so the copy-on-write clones may be taken concurrently
+// inside the jobs.
 func BranchSpace(checkpoint *machine.Machine, label string, n int, measureTxns int64, seedBase uint64, workers int) (Space, error) {
 	return BranchSpaceRes(checkpoint, label, n, measureTxns, seedBase, workers, Resilience{})
 }
@@ -404,6 +406,9 @@ func BranchSpaceRes(checkpoint *machine.Machine, label string, n int, measureTxn
 			res.Journal.Append(rec)
 		}
 	}
+	// Freeze before the fleet starts: fleet jobs snapshot the checkpoint
+	// concurrently, and Snapshot on a frozen machine performs no writes.
+	checkpoint.Freeze()
 	results, err := fleet.Run(opts, n, func(i int) (machine.Result, error) {
 		m := checkpoint.Snapshot()
 		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))

@@ -163,6 +163,9 @@ func BranchSpaceDigests(checkpoint *machine.Machine, label string, n int, measur
 			}
 		}
 	}
+	// Freeze before the fleet starts: fleet jobs snapshot the checkpoint
+	// concurrently, and Snapshot on a frozen machine performs no writes.
+	checkpoint.Freeze()
 	branches, err := fleet.Run(opts, n, func(i int) (runDigested, error) {
 		m := checkpoint.Snapshot()
 		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))

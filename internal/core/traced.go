@@ -40,6 +40,9 @@ func BranchObserved(checkpoint *machine.Machine, label string, n int, measureTxn
 		events []trace.Event
 		dig    digest.Series
 	}
+	// Freeze before the fleet starts: fleet jobs snapshot the checkpoint
+	// concurrently, and Snapshot on a frozen machine performs no writes.
+	checkpoint.Freeze()
 	branches, err := fleet.Map(fleet.Width(workers), n, func(i int) (observed, error) {
 		m := checkpoint.Snapshot()
 		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))

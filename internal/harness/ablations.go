@@ -105,7 +105,7 @@ func (h *H) Ablations() error {
 			cks = core.RandomCheckpoints(nCk, lifetime, rng.Derive(h.opt.Seed, 0x64))
 		}
 		e := h.experiment("oltp", h.baseConfig(), "oltp", 0, 150, 0x65)
-		e.Runs = maxInt2(h.runs()/2, 3)
+		e.Runs = max(h.runs()/2, 3)
 		spaces, err := e.TimeSample(cks)
 		if err != nil {
 			return err
@@ -155,11 +155,4 @@ func (h *H) Ablations() error {
 	fmt.Fprintf(out, "95%% CI, Student-t: [%.0f, %.0f]; bootstrap: [%.0f, %.0f]\n",
 		classic.Lo, classic.Hi, boot.Lo, boot.Hi)
 	return nil
-}
-
-func maxInt2(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -10,6 +10,7 @@ import (
 func TestDetwall(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), detwall.Analyzer,
 		"varsim/internal/mem/underwall",
+		"varsim/internal/mem/cowok",
 		"varsim/internal/report/heartbeatfix",
 		"varsim/internal/fleet/fleetok",
 		"varsim/internal/core/corewall",

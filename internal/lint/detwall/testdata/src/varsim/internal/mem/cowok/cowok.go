@@ -1,0 +1,82 @@
+// Package cowok is a detwall fixture pinning the copy-on-write page
+// management contract (DESIGN.md §8): lazy materialization runs inside
+// the determinism wall, so the ensureOwned/Freeze/Clone path must be a
+// pure slice copy — no clocks, no goroutines, no sync primitives with
+// nondeterministic observable effects. The silent functions below are
+// the sanctioned shape; the goroutine-prefetching variant at the
+// bottom is the forbidden "optimization" detwall must keep out.
+package cowok
+
+import "time"
+
+type line struct {
+	tag   uint64
+	state uint8
+}
+
+type cache struct {
+	pages     [][]line
+	pageEpoch []uint64
+	epoch     uint64
+	frozen    bool
+}
+
+// freeze is the write-free latch: bumping the epoch disowns every page
+// at once, and re-freezing a frozen cache performs no write — the
+// property that makes concurrent clones of one frozen base safe
+// without any synchronization primitive.
+func (c *cache) freeze() {
+	if c.frozen {
+		return
+	}
+	c.epoch++
+	c.frozen = true
+}
+
+// ensureOwned is the materialize path: a pure, synchronous page copy
+// at the branch's own first write. Nothing here may vary with the
+// host — no clock, no goroutine, no channel — because *when* this
+// copy happens is determined by the simulated trajectory alone.
+func (c *cache) ensureOwned(p int) []line {
+	if c.pageEpoch[p] == c.epoch {
+		return c.pages[p]
+	}
+	c.frozen = false
+	cp := make([]line, len(c.pages[p]))
+	copy(cp, c.pages[p])
+	c.pages[p] = cp
+	c.pageEpoch[p] = c.epoch
+	return cp
+}
+
+// clone branches the cache by copying page tables only.
+func (c *cache) clone() *cache {
+	c.freeze()
+	cp := *c
+	cp.pages = append([][]line(nil), c.pages...)
+	cp.pageEpoch = append([]uint64(nil), c.pageEpoch...)
+	return &cp
+}
+
+// prefetchClone is the tempting-but-forbidden variant: copying pages
+// on a background goroutine makes materialization order depend on the
+// host scheduler. Detwall fires on the go statement.
+func (c *cache) prefetchClone() *cache {
+	cp := c.clone()
+	go func() { // want `go statement inside the determinism wall`
+		for p := range cp.pages {
+			cp.ensureOwned(p)
+		}
+	}()
+	return cp
+}
+
+// timedMaterialize is equally forbidden: deadline-bounded copying ties
+// the owned-page set to the wall clock.
+func (c *cache) timedMaterialize() {
+	deadline := time.Now() // want `wall-clock call time\.Now`
+	for p := range c.pages {
+		c.ensureOwned(p)
+		_ = deadline
+	}
+}

@@ -108,7 +108,7 @@ func (m *Machine) issueBus(cpu int32, block uint64, kind mem.AccessKind, ifetch 
 	m.bus.reqs++
 	if !m.bus.busy {
 		m.bus.busy = true
-		grantAt := max64(t+m.cfg.NetHopNS, m.bus.freeAt)
+		grantAt := max(t+m.cfg.NetHopNS, m.bus.freeAt)
 		m.eng.ScheduleAt(grantAt, sim.KindBusGrant, 0, 0)
 	}
 }
@@ -151,7 +151,7 @@ func (m *Machine) handleBusGrant() {
 		m.bus.reqs++
 	}
 	if len(m.bus.q) > 0 {
-		next := max64(now+m.cfg.BusOccupancyNS, m.bus.q[0].issuedAt+m.cfg.NetHopNS)
+		next := max(now+m.cfg.BusOccupancyNS, m.bus.q[0].issuedAt+m.cfg.NetHopNS)
 		m.eng.ScheduleAt(next, sim.KindBusGrant, 0, 0)
 	} else {
 		m.bus.busy = false
@@ -217,6 +217,7 @@ func (m *Machine) dispatch(cpu int32, t *int64) int32 {
 	// spin).
 	cs := &m.cpus[cpu]
 	if m.parkedOk[tid] {
+		m.ensureParked()
 		cs.pending = m.parkedOps[tid]
 		cs.hasPending = true
 		cs.spins = m.parkedSpin[tid]
@@ -266,6 +267,7 @@ func (m *Machine) kernelTouch(cpu int32, t *int64) {
 func (m *Machine) preemptCurrent(cpu, tid int32, t int64) {
 	cs := &m.cpus[cpu]
 	if cs.hasPending {
+		m.ensureParked()
 		m.parkedOps[tid] = cs.pending
 		m.parkedSpin[tid] = cs.spins
 		m.parkedOk[tid] = true

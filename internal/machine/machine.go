@@ -163,6 +163,13 @@ type Machine struct {
 	// the same KindDrain cadence as the sampler (see EnableDigests).
 	digestRec *digest.Recorder
 
+	// Copy-on-write bookkeeping (see Freeze/Snapshot): frozen is true
+	// when every lazily-copied structure has relinquished ownership
+	// since the machine last ran; parkedShared marks the parked-op
+	// arrays as aliased with a snapshot.
+	frozen       bool
+	parkedShared bool
+
 	maxEvents uint64
 }
 
@@ -211,7 +218,7 @@ func New(cfg config.Config, wl workload.Instance, perturbSeed uint64) (*Machine,
 		snoop:      snooper,
 		dram:       dram.NewControllers(cfg.NumCPUs, cfg.MemSupplyNS, cfg.DRAMBanksPerCtl),
 		disks:      dram.NewDisks(8), // disk 0: log; 1..: data (§3.1: 5 data + log)
-		os:         kernel.New(cfg.NumCPUs, wl.NumThreads(), nLocks, maxInt(wl.NumBarriers(), 1), wl.NumThreads()),
+		os:         kernel.New(cfg.NumCPUs, wl.NumThreads(), nLocks, max(wl.NumBarriers(), 1), wl.NumThreads()),
 		wl:         wl,
 		perturb:    rng.New(perturbSeed),
 		cpus:       make([]cpuState, cfg.NumCPUs),
@@ -315,6 +322,7 @@ func (m *Machine) Run(n int64) (Result, error) {
 	start := m.snapCounters()
 	startNS := m.eng.Now()
 	target := m.txnsDone + n
+	m.frozen = false // running mutates COW state; next Snapshot re-freezes
 	ok := m.eng.RunUntil(m, func() bool {
 		return m.txnsDone >= target || m.os.AllDone()
 	}, m.maxEvents)
@@ -339,6 +347,7 @@ func (m *Machine) RunNS(ns int64) (Result, error) {
 	startNS := m.eng.Now()
 	startTxns := m.txnsDone
 	deadline := startNS + ns
+	m.frozen = false // running mutates COW state; next Snapshot re-freezes
 	ok := m.eng.RunUntil(m, func() bool {
 		return m.eng.Now() >= deadline || m.os.AllDone()
 	}, m.maxEvents)
@@ -348,11 +357,58 @@ func (m *Machine) RunNS(ns int64) (Result, error) {
 	return m.result(start, startNS, m.eng.Now(), m.txnsDone-startTxns), nil
 }
 
-// Snapshot deep-copies the entire machine — the analogue of a Simics
-// checkpoint (§3.2.2). The copy can be re-seeded with SetPerturbSeed to
-// branch an independent perturbed future from the same initial
-// conditions.
+// Freeze relinquishes the machine's ownership of every structure its
+// snapshots share copy-on-write — cache line pages, predictor tables,
+// workload op buffers, the parked-op arrays — so that Snapshot copies
+// page tables and slice headers instead of state. O(components), not
+// O(state). Freeze on an already-frozen machine performs no writes,
+// which is what makes concurrent Snapshots of a frozen base safe;
+// running the machine un-freezes it, so re-Freeze (or take one
+// sequential Snapshot) before branching concurrently again.
+func (m *Machine) Freeze() {
+	if m.frozen {
+		return
+	}
+	m.snoop.Freeze()
+	for i := range m.cpus {
+		if c := m.cpus[i].ooo; c != nil {
+			c.bp.Freeze()
+		}
+	}
+	if f, ok := m.wl.(workload.Freezer); ok {
+		f.Freeze()
+	}
+	m.parkedShared = true
+	m.frozen = true
+}
+
+// ensureParked copies the parked-op arrays before their first write
+// after a snapshot shared them.
+func (m *Machine) ensureParked() {
+	if !m.parkedShared {
+		return
+	}
+	m.parkedShared = false
+	m.parkedOps = append([]workload.Op(nil), m.parkedOps...)
+	m.parkedOk = append([]bool(nil), m.parkedOk...)
+	m.parkedSpin = append([]int(nil), m.parkedSpin...)
+}
+
+// Snapshot captures the machine — the analogue of a Simics checkpoint
+// (§3.2.2). The copy can be re-seeded with SetPerturbSeed to branch an
+// independent perturbed future from the same initial conditions.
+//
+// Snapshots are copy-on-write: the big state (cache line pages,
+// predictor tables, workload op buffers, recorded series) is shared
+// with the parent and copied lazily, page by page, as either side
+// writes it — so Snapshot itself is O(metadata) and branches touching
+// little state stay cheap. Snapshot freezes an unfrozen machine (a
+// write); to snapshot one machine from several goroutines at once,
+// call Freeze first — Snapshot on a frozen machine only reads it.
 func (m *Machine) Snapshot() *Machine {
+	if !m.frozen {
+		m.Freeze()
+	}
 	c := *m
 	c.eng = m.eng.Clone()
 	c.snoop = m.snoop.Clone()
@@ -360,22 +416,24 @@ func (m *Machine) Snapshot() *Machine {
 	c.disks = m.disks.Clone()
 	c.os = m.os.Clone()
 	c.wl = m.wl.Clone()
-	c.cpus = make([]cpuState, len(m.cpus))
-	copy(c.cpus, m.cpus)
+	c.cpus = append([]cpuState(nil), m.cpus...)
 	for i := range c.cpus {
 		if m.cpus[i].ooo != nil {
 			c.cpus[i].ooo = m.cpus[i].ooo.clone()
 		}
 	}
 	c.bus.q = append([]busReq(nil), m.bus.q...)
-	c.txnTimes = append([]int64(nil), m.txnTimes...)
-	c.schedTrace = append([]SchedEvent(nil), m.schedTrace...)
+	// Append-only recordings are shared by capping the clone's slices
+	// at their current length: appends on either side then reallocate
+	// instead of writing the shared backing array.
+	c.txnTimes = m.txnTimes[:len(m.txnTimes):len(m.txnTimes)]
+	c.schedTrace = m.schedTrace[:len(m.schedTrace):len(m.schedTrace)]
 	if m.tracer != nil {
 		c.tracer = m.tracer.Clone()
 	}
-	c.parkedOps = append([]workload.Op(nil), m.parkedOps...)
-	c.parkedOk = append([]bool(nil), m.parkedOk...)
-	c.parkedSpin = append([]int(nil), m.parkedSpin...)
+	// The parked-op arrays ride along shared (parkedShared was set by
+	// Freeze and copied into c above); ensureParked copies them on the
+	// first park/restore of either side.
 	// Re-wire the metric registry so the clone's instruments read the
 	// clone's components, then restore owned-instrument state and the
 	// sampled series.
@@ -390,16 +448,24 @@ func (m *Machine) Snapshot() *Machine {
 	return &c
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// Materialize forces ownership of everything a copy-on-write Snapshot
+// left shared — cache pages, predictor tables, workload buffers,
+// parked ops, recorded series — turning this machine into a full deep
+// copy. Simulation never needs it (writes materialize lazily); it
+// exists to price lazy against eager copying (BenchmarkSnapshotDeep)
+// and to pin COW-vs-deep equivalence in tests.
+func (m *Machine) Materialize() {
+	m.snoop.Materialize()
+	for i := range m.cpus {
+		if c := m.cpus[i].ooo; c != nil {
+			c.bp.Materialize()
+		}
 	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
+	if mat, ok := m.wl.(workload.Materializer); ok {
+		mat.Materialize()
 	}
-	return b
+	m.ensureParked()
+	m.txnTimes = append([]int64(nil), m.txnTimes...)
+	m.schedTrace = append([]SchedEvent(nil), m.schedTrace...)
+	m.frozen = false
 }

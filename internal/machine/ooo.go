@@ -161,7 +161,7 @@ func (m *Machine) issueBusToken(cpu int32, block uint64, kind mem.AccessKind, if
 	m.bus.reqs++
 	if !m.bus.busy {
 		m.bus.busy = true
-		m.eng.ScheduleAt(max64(t+m.cfg.NetHopNS, m.bus.freeAt), sim.KindBusGrant, 0, 0)
+		m.eng.ScheduleAt(max(t+m.cfg.NetHopNS, m.bus.freeAt), sim.KindBusGrant, 0, 0)
 	}
 }
 

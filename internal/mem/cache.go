@@ -64,9 +64,30 @@ type line struct {
 	dirty bool   // L1 only: line modified since fill
 }
 
+// targetPageLines sizes copy-on-write pages: pages hold up to this many
+// lines (~16 KiB of line structs), small enough that the first write
+// after a branch copies little, large enough that the page table stays
+// a few hundred entries for the biggest configured cache.
+const targetPageLines = 512
+
 // Cache is one set-associative cache array.
+//
+// The line slab is split into fixed-size pages of whole sets so that
+// Clone can share pages copy-on-write: a clone copies the page table
+// (O(pages) slice headers), not the lines, and the first mutation of a
+// shared page copies just that page. Ownership is epoch-stamped:
+// page p is writable iff pageEpoch[p] == epoch, and Freeze revokes
+// every ownership at once by bumping epoch — O(1), no page scan.
 type Cache struct {
-	lines   []line
+	pages     [][]line // page p holds sets [p<<pageShift, (p+1)<<pageShift)
+	pageEpoch []uint64 // epoch at which page p was last materialized
+	epoch     uint64   // current ownership epoch; bumped by Freeze
+	frozen    bool     // no page materialized since the last Freeze
+
+	pageShift uint   // log2(sets per page)
+	pageMask  uint64 // (sets per page) - 1
+	pageLines int    // lines per page = (sets per page) * assoc
+
 	assoc   int
 	sets    int
 	setMask uint64
@@ -96,12 +117,33 @@ func NewCache(cfg config.CacheConfig) *Cache {
 		panic(fmt.Sprintf("mem: %v", err))
 	}
 	sets := cfg.Sets()
-	return &Cache{
-		lines:   make([]line, sets*cfg.Assoc),
-		assoc:   cfg.Assoc,
-		sets:    sets,
-		setMask: uint64(sets - 1),
+	// Largest power-of-two sets-per-page whose lines fit the target, so
+	// a set never straddles a page and there are no partial pages
+	// (sets is itself a power of two, enforced by Validate).
+	pageSets := 1
+	for pageSets < sets && pageSets*2*cfg.Assoc <= targetPageLines {
+		pageSets *= 2
 	}
+	pageShift := uint(0)
+	for 1<<pageShift != pageSets {
+		pageShift++
+	}
+	npages := sets / pageSets
+	c := &Cache{
+		pages:     make([][]line, npages),
+		pageEpoch: make([]uint64, npages),
+		pageShift: pageShift,
+		pageMask:  uint64(pageSets - 1),
+		pageLines: pageSets * cfg.Assoc,
+		assoc:     cfg.Assoc,
+		sets:      sets,
+		setMask:   uint64(sets - 1),
+	}
+	slab := make([]line, sets*cfg.Assoc)
+	for p := range c.pages {
+		c.pages[p] = slab[p*c.pageLines : (p+1)*c.pageLines : (p+1)*c.pageLines]
+	}
+	return c
 }
 
 // Sets returns the number of sets.
@@ -110,30 +152,74 @@ func (c *Cache) Sets() int { return c.sets }
 // Assoc returns the associativity.
 func (c *Cache) Assoc() int { return c.assoc }
 
-func (c *Cache) setBase(block uint64) int {
-	return int(block&c.setMask) * c.assoc
+// locate maps block to its page index and the index of its set's first
+// line within that page.
+func (c *Cache) locate(block uint64) (p, base int) {
+	set := block & c.setMask
+	return int(set >> c.pageShift), int(set&c.pageMask) * c.assoc
 }
 
-// find returns the way index of block within its set, or -1.
-func (c *Cache) find(block uint64) int {
-	base := c.setBase(block)
+// lineIndex is the global index of line j of page p in set-major order —
+// identical to the index into the flat pre-paging slab, which keeps
+// lineSig (and with it every recorded digest) byte-identical.
+func (c *Cache) lineIndex(p, j int) int { return p*c.pageLines + j }
+
+// ensureOwned materializes page p for writing: if the page is shared
+// with an earlier snapshot generation it is copied first. This is the
+// lazy write-fault path of copy-on-write branching; it is pure
+// in-memory copying (no locks, no goroutines), so branch trajectories
+// stay deterministic regardless of which sibling touches a page first.
+func (c *Cache) ensureOwned(p int) []line {
+	if c.pageEpoch[p] == c.epoch {
+		// Owning any page implies a write since the last Freeze, so
+		// frozen is already false here.
+		return c.pages[p]
+	}
+	c.frozen = false
+	np := make([]line, len(c.pages[p]))
+	copy(np, c.pages[p])
+	c.pages[p] = np
+	c.pageEpoch[p] = c.epoch
+	return np
+}
+
+// Freeze revokes the cache's ownership of every page, making it safe
+// to share them with clones: the next write to any page copies it
+// first. O(1) — ownership is epoch-stamped, so one counter bump
+// invalidates all stamps at once.
+func (c *Cache) Freeze() {
+	if c.frozen {
+		return
+	}
+	c.epoch++
+	c.frozen = true
+}
+
+// find returns the page, page index and in-page index of block, or
+// (nil, 0, -1) if absent. Read-only: callers that mutate the line must
+// re-fetch the page via ensureOwned first.
+func (c *Cache) find(block uint64) (pg []line, p, j int) {
+	p, base := c.locate(block)
+	pg = c.pages[p]
 	for w := 0; w < c.assoc; w++ {
-		ln := &c.lines[base+w]
+		ln := &pg[base+w]
 		if ln.state != Invalid && ln.tag == block {
-			return base + w
+			return pg, p, base + w
 		}
 	}
-	return -1
+	return nil, 0, -1
 }
 
 // Probe looks up block. On a hit it refreshes LRU and returns the state;
-// on a miss it returns Invalid. Hit/miss counters are updated.
+// on a miss it returns Invalid. Hit/miss counters are updated. The LRU
+// refresh is a write, so a hit on a shared page materializes it.
 func (c *Cache) Probe(block uint64) State {
-	if i := c.find(block); i >= 0 {
+	if _, p, j := c.find(block); j >= 0 {
+		pg := c.ensureOwned(p)
 		c.stamp++
-		c.lines[i].lru = c.stamp
+		pg[j].lru = c.stamp
 		c.Hits++
-		return c.lines[i].state
+		return pg[j].state
 	}
 	c.Misses++
 	return Invalid
@@ -141,8 +227,8 @@ func (c *Cache) Probe(block uint64) State {
 
 // GetState returns the state of block without touching LRU or counters.
 func (c *Cache) GetState(block uint64) State {
-	if i := c.find(block); i >= 0 {
-		return c.lines[i].state
+	if pg, _, j := c.find(block); j >= 0 {
+		return pg[j].state
 	}
 	return Invalid
 }
@@ -150,23 +236,25 @@ func (c *Cache) GetState(block uint64) State {
 // SetState changes the state of a resident block; it is a no-op if the
 // block is absent (the caller may race with an eviction).
 func (c *Cache) SetState(block uint64, s State) {
-	if i := c.find(block); i >= 0 {
-		c.sig ^= c.lineSig(i)
+	if _, p, j := c.find(block); j >= 0 {
+		pg := c.ensureOwned(p)
+		c.sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
 		if s == Invalid {
-			c.lines[i] = line{}
+			pg[j] = line{}
 			return
 		}
-		c.lines[i].state = s
-		c.sig ^= c.lineSig(i)
+		pg[j].state = s
+		c.sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
 	}
 }
 
 // SetDirty marks a resident block dirty (L1 bookkeeping).
 func (c *Cache) SetDirty(block uint64) {
-	if i := c.find(block); i >= 0 && !c.lines[i].dirty {
-		c.sig ^= c.lineSig(i)
-		c.lines[i].dirty = true
-		c.sig ^= c.lineSig(i)
+	if pg0, p, j := c.find(block); j >= 0 && !pg0[j].dirty {
+		pg := c.ensureOwned(p)
+		c.sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
+		pg[j].dirty = true
+		c.sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
 	}
 }
 
@@ -181,19 +269,21 @@ type Victim struct {
 // set is full. It returns the victim (ok=false if an invalid way was
 // used). If the block is already resident its state is updated in place.
 func (c *Cache) Fill(block uint64, s State) (v Victim, evicted bool) {
-	if i := c.find(block); i >= 0 {
-		c.sig ^= c.lineSig(i)
+	if _, p, j := c.find(block); j >= 0 {
+		pg := c.ensureOwned(p)
+		c.sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
 		c.stamp++
-		c.lines[i].state = s
-		c.lines[i].lru = c.stamp
-		c.sig ^= c.lineSig(i)
+		pg[j].state = s
+		pg[j].lru = c.stamp
+		c.sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
 		return Victim{}, false
 	}
-	base := c.setBase(block)
+	p, base := c.locate(block)
+	pg := c.pages[p]
 	way := -1
 	var oldest uint64 = ^uint64(0)
 	for w := 0; w < c.assoc; w++ {
-		ln := &c.lines[base+w]
+		ln := &pg[base+w]
 		if ln.state == Invalid {
 			way = base + w
 			evicted = false
@@ -205,45 +295,72 @@ func (c *Cache) Fill(block uint64, s State) (v Victim, evicted bool) {
 			evicted = true
 		}
 	}
+	pg = c.ensureOwned(p)
 	if evicted {
-		old := &c.lines[way]
+		old := &pg[way]
 		v = Victim{Block: old.tag, State: old.state, Dirty: old.dirty}
 		c.Evictions++
-		c.sig ^= c.lineSig(way)
+		c.sig ^= c.lineSig(c.lineIndex(p, way), old)
 	}
 	c.stamp++
-	c.lines[way] = line{tag: block, state: s, lru: c.stamp}
-	c.sig ^= c.lineSig(way)
+	pg[way] = line{tag: block, state: s, lru: c.stamp}
+	c.sig ^= c.lineSig(c.lineIndex(p, way), &pg[way])
 	return v, evicted
 }
 
 // Invalidate removes block and returns its prior state and dirtiness.
 func (c *Cache) Invalidate(block uint64) (prior State, dirty bool) {
-	if i := c.find(block); i >= 0 {
-		prior = c.lines[i].state
-		dirty = c.lines[i].dirty
-		c.sig ^= c.lineSig(i)
-		c.lines[i] = line{}
+	if _, p, j := c.find(block); j >= 0 {
+		pg := c.ensureOwned(p)
+		prior = pg[j].state
+		dirty = pg[j].dirty
+		c.sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
+		pg[j] = line{}
 	}
 	return prior, dirty
 }
 
-// Clone returns a deep copy (for machine snapshots).
+// Clone returns a copy that shares every page with c copy-on-write:
+// only the page table and ownership stamps are copied. Cloning freezes
+// c if needed (a write); to snapshot one cache from several goroutines
+// at once, Freeze it first — Clone on a frozen cache is read-only.
 func (c *Cache) Clone() *Cache {
+	c.Freeze()
 	cp := *c
-	cp.lines = make([]line, len(c.lines))
-	copy(cp.lines, c.lines)
+	cp.pages = make([][]line, len(c.pages))
+	copy(cp.pages, c.pages)
+	cp.pageEpoch = make([]uint64, len(c.pageEpoch))
+	copy(cp.pageEpoch, c.pageEpoch)
 	return &cp
+}
+
+// Materialize forces ownership of every page, copying any still shared
+// with another snapshot generation — turning a copy-on-write clone into
+// a full deep copy. Used to price lazy against eager copying; the
+// simulation itself never needs it.
+func (c *Cache) Materialize() {
+	for p := range c.pages {
+		c.ensureOwned(p)
+	}
+}
+
+// lineAt returns a copy of the line at set-major global index i — the
+// index into the flat pre-paging slab. For tests and foldSig.
+func (c *Cache) lineAt(i int) line {
+	return c.pages[i/c.pageLines][i%c.pageLines]
 }
 
 // Occupancy returns the fraction of ways holding valid lines, a cheap
 // warm-up indicator used by tests.
 func (c *Cache) Occupancy() float64 {
-	n := 0
-	for i := range c.lines {
-		if c.lines[i].state != Invalid {
-			n++
+	n, total := 0, 0
+	for _, pg := range c.pages {
+		total += len(pg)
+		for j := range pg {
+			if pg[j].state != Invalid {
+				n++
+			}
 		}
 	}
-	return float64(n) / float64(len(c.lines))
+	return float64(n) / float64(total)
 }

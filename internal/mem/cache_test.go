@@ -165,7 +165,7 @@ func TestCacheStructuralInvariants(t *testing.T) {
 		for set := 0; set < c.Sets(); set++ {
 			seen := map[uint64]bool{}
 			for w := 0; w < c.Assoc(); w++ {
-				ln := c.lines[set*c.Assoc()+w]
+				ln := c.lineAt(set*c.Assoc() + w)
 				if ln.state == Invalid {
 					continue
 				}

@@ -1,0 +1,209 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"varsim/internal/config"
+	"varsim/internal/rng"
+)
+
+// bigCache spans several COW pages (64 sets x 4 ways = 256 lines at
+// the small-config geometry) so page-granular sharing is exercised.
+func bigCache() *Cache {
+	return NewCache(config.CacheConfig{SizeBytes: 16384, Assoc: 4, BlockBits: 6})
+}
+
+// snapshotLines captures every line by global index for later
+// comparison.
+func snapshotLines(c *Cache) []line {
+	out := make([]line, c.Sets()*c.Assoc())
+	for i := range out {
+		out[i] = c.lineAt(i)
+	}
+	return out
+}
+
+func linesEqual(a, b []line) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCloneIsolation pins the COW contract from both sides: writes to
+// the parent after a clone never show through the clone, and vice
+// versa, while both keep sig == foldSig.
+func TestCloneIsolation(t *testing.T) {
+	c := bigCache()
+	for b := uint64(0); b < 200; b++ {
+		c.Fill(b, Shared)
+	}
+	cp := c.Clone()
+	before := snapshotLines(cp)
+
+	// Parent writes across many pages...
+	for b := uint64(0); b < 200; b += 3 {
+		c.SetState(b, Modified)
+	}
+	c.Invalidate(7)
+	if !linesEqual(snapshotLines(cp), before) {
+		t.Fatal("parent writes leaked into the clone")
+	}
+	// ...and clone writes never reach the parent.
+	parentBefore := snapshotLines(c)
+	for b := uint64(0); b < 200; b += 5 {
+		cp.Invalidate(b)
+	}
+	if !linesEqual(snapshotLines(c), parentBefore) {
+		t.Fatal("clone writes leaked into the parent")
+	}
+	if c.sig != c.foldSig() {
+		t.Fatal("parent sig drifted from foldSig")
+	}
+	if cp.sig != cp.foldSig() {
+		t.Fatal("clone sig drifted from foldSig")
+	}
+}
+
+// TestCloneChain exercises clone-of-clone: a grandchild branched from a
+// mutated child must see the child's state, not the grandparent's, and
+// stay isolated from further child writes.
+func TestCloneChain(t *testing.T) {
+	c := bigCache()
+	for b := uint64(0); b < 100; b++ {
+		c.Fill(b, Shared)
+	}
+	child := c.Clone()
+	child.SetState(10, Modified)
+	grand := child.Clone()
+	if grand.GetState(10) != Modified {
+		t.Fatal("grandchild missing child's pre-branch write")
+	}
+	child.SetState(10, Owned)
+	if grand.GetState(10) != Modified {
+		t.Fatal("child's post-branch write leaked into grandchild")
+	}
+	if c.GetState(10) != Shared {
+		t.Fatal("descendant writes leaked into the root")
+	}
+	for _, cc := range []*Cache{c, child, grand} {
+		if cc.sig != cc.foldSig() {
+			t.Fatal("sig drifted from foldSig in clone chain")
+		}
+	}
+}
+
+// TestMaterializeEquivalence: materializing a clone changes no
+// observable state — it only forces page ownership.
+func TestMaterializeEquivalence(t *testing.T) {
+	c := bigCache()
+	for b := uint64(0); b < 150; b++ {
+		c.Fill(b, Shared)
+	}
+	lazy := c.Clone()
+	eager := c.Clone()
+	eager.Materialize()
+	if !linesEqual(snapshotLines(lazy), snapshotLines(eager)) {
+		t.Fatal("Materialize changed line state")
+	}
+	if lazy.StateSig() != eager.StateSig() {
+		t.Fatal("Materialize changed the state signature")
+	}
+	// After materializing, parent writes must not reach the eager copy
+	// (it owns everything) — same guarantee as the lazy one.
+	c.Invalidate(3)
+	if eager.GetState(3) == Invalid || lazy.GetState(3) == Invalid {
+		t.Fatal("parent write visible through a clone")
+	}
+}
+
+// TestProbeHitMaterializes: the LRU refresh on a probe hit is a write
+// and must not touch the shared page the sibling still reads.
+func TestProbeHitMaterializes(t *testing.T) {
+	c := bigCache()
+	c.Fill(1, Shared)
+	c.Fill(1+64, Shared) // same set, second way (64 sets)
+	cp := c.Clone()
+	before := snapshotLines(cp)
+	for i := 0; i < 5; i++ {
+		c.Probe(1) // parent LRU churn
+	}
+	if !linesEqual(snapshotLines(cp), before) {
+		t.Fatal("parent Probe LRU write leaked into the clone")
+	}
+}
+
+// Property: an arbitrary operation sequence applied identically to a
+// COW clone and to a materialized deep copy leaves them line-for-line
+// identical with matching signatures — lazy materialization is
+// observationally equivalent to eager copying.
+func TestCOWMatchesDeepProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nOps uint16) bool {
+		base := bigCache()
+		r := rng.New(seed)
+		for i := 0; i < 100; i++ {
+			base.Fill(uint64(r.Intn(512)), State(1+r.Intn(3)))
+		}
+		cow := base.Clone()
+		deep := base.Clone()
+		deep.Materialize()
+		for i := 0; i < int(nOps%400); i++ {
+			b := uint64(r.Intn(512))
+			switch r.Intn(5) {
+			case 0:
+				if cow.Probe(b) != deep.Probe(b) {
+					return false
+				}
+			case 1:
+				cow.Fill(b, Modified)
+				deep.Fill(b, Modified)
+			case 2:
+				s := State(1 + r.Intn(3))
+				cow.SetState(b, s)
+				deep.SetState(b, s)
+			case 3:
+				cow.Invalidate(b)
+				deep.Invalidate(b)
+			case 4:
+				cow.SetDirty(b)
+				deep.SetDirty(b)
+			}
+		}
+		return linesEqual(snapshotLines(cow), snapshotLines(deep)) &&
+			cow.StateSig() == deep.StateSig() &&
+			cow.sig == cow.foldSig() && deep.sig == deep.foldSig()
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrozenCloneIsReadOnly: cloning a frozen cache concurrently is
+// safe — pinned here sequentially by checking Freeze leaves no owned
+// pages and Clone does not change the parent's observable state.
+func TestFrozenCloneIsReadOnly(t *testing.T) {
+	c := bigCache()
+	for b := uint64(0); b < 64; b++ {
+		c.Fill(b, Shared)
+	}
+	c.Freeze()
+	if !c.frozen {
+		t.Fatal("Freeze did not latch")
+	}
+	for p := range c.pageEpoch {
+		if c.pageEpoch[p] == c.epoch {
+			t.Fatal("page still owned after Freeze")
+		}
+	}
+	epoch := c.epoch
+	_ = c.Clone()
+	_ = c.Clone()
+	if c.epoch != epoch || !c.frozen {
+		t.Fatal("Clone of a frozen cache wrote to the parent")
+	}
+}

@@ -2,13 +2,14 @@ package mem
 
 import "varsim/internal/digest"
 
-// lineSig is way i's contribution to the cache's XOR-fold signature: a
-// well-mixed function of (way, tag, state, dirty). Invalid lines
-// contribute 0, so an empty cache's signature is 0 and a line's
-// insert/remove are exact XOR inverses. LRU is excluded on purpose —
-// see the sig field's comment.
-func (c *Cache) lineSig(i int) uint64 {
-	ln := &c.lines[i]
+// lineSig is line ln's contribution to the cache's XOR-fold signature:
+// a well-mixed function of (way, tag, state, dirty). i is the line's
+// set-major global index (see Cache.lineIndex) — the same index the
+// flat pre-paging slab used, so paging the slab left every signature
+// bit-for-bit unchanged. Invalid lines contribute 0, so an empty
+// cache's signature is 0 and a line's insert/remove are exact XOR
+// inverses. LRU is excluded on purpose — see the sig field's comment.
+func (c *Cache) lineSig(i int, ln *line) uint64 {
 	if ln.state == Invalid {
 		return 0
 	}
@@ -33,8 +34,10 @@ func (c *Cache) StateSig() uint64 { return c.sig }
 // operation sequences.
 func (c *Cache) foldSig() uint64 {
 	var sig uint64
-	for i := range c.lines {
-		sig ^= c.lineSig(i)
+	for p, pg := range c.pages {
+		for j := range pg {
+			sig ^= c.lineSig(c.lineIndex(p, j), &pg[j])
+		}
 	}
 	return sig
 }

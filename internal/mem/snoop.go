@@ -52,9 +52,23 @@ func NewNodeCaches(cfg config.Config) *NodeCaches {
 	}
 }
 
-// Clone deep-copies the node's caches.
+// Clone copies the node's caches copy-on-write (see Cache.Clone).
 func (n *NodeCaches) Clone() *NodeCaches {
 	return &NodeCaches{L1I: n.L1I.Clone(), L1D: n.L1D.Clone(), L2: n.L2.Clone()}
+}
+
+// Freeze revokes page ownership in all three caches (see Cache.Freeze).
+func (n *NodeCaches) Freeze() {
+	n.L1I.Freeze()
+	n.L1D.Freeze()
+	n.L2.Freeze()
+}
+
+// Materialize forces full ownership in all three caches.
+func (n *NodeCaches) Materialize() {
+	n.L1I.Materialize()
+	n.L1D.Materialize()
+	n.L2.Materialize()
 }
 
 // invalidateAll removes block from L2 and (for inclusion) both L1s.
@@ -107,33 +121,29 @@ func NewSnooper(nodes []*NodeCaches) *Snooper {
 	return &Snooper{Nodes: nodes}
 }
 
-// Clone deep-copies the snooper and all node caches. The copy is built
-// in a single arena — one node array, one cache array, one line slab
-// for every cache of every node — instead of per-cache allocations:
-// the cache hierarchy dominates a machine snapshot's size, and fleet
-// workers snapshot the checkpoint once per branched run, so the clone
-// path is allocation-count-sensitive (see BenchmarkSnapshot).
+// Clone copies the snooper and all node caches copy-on-write: every
+// cache's line pages are shared with the original and copied only when
+// one side writes them (see Cache.Clone). The Cache/NodeCaches structs
+// themselves are built in a single arena — the hierarchy is snapshotted
+// once per branched run, so the clone path is allocation-count-
+// sensitive (see BenchmarkSnapshot). Clone freezes any still-owned
+// pages (a write); to clone concurrently, Freeze the snooper first.
 func (s *Snooper) Clone() *Snooper {
 	cp := *s
 	nNodes := len(s.Nodes)
-	totalLines := 0
-	for _, n := range s.Nodes {
-		totalLines += len(n.L1I.lines) + len(n.L1D.lines) + len(n.L2.lines)
-	}
 	var (
 		nodes  = make([]NodeCaches, nNodes)
 		caches = make([]Cache, 3*nNodes)
-		slab   = make([]line, totalLines)
 	)
-	off := 0
 	cloneCache := func(src *Cache) *Cache {
+		src.Freeze()
 		dst := &caches[0]
 		caches = caches[1:]
 		*dst = *src
-		n := len(src.lines)
-		dst.lines = slab[off : off+n : off+n]
-		copy(dst.lines, src.lines)
-		off += n
+		dst.pages = make([][]line, len(src.pages))
+		copy(dst.pages, src.pages)
+		dst.pageEpoch = make([]uint64, len(src.pageEpoch))
+		copy(dst.pageEpoch, src.pageEpoch)
 		return dst
 	}
 	cp.Nodes = make([]*NodeCaches, nNodes)
@@ -146,6 +156,23 @@ func (s *Snooper) Clone() *Snooper {
 		cp.Nodes[i] = &nodes[i]
 	}
 	return &cp
+}
+
+// Freeze revokes page ownership across the whole hierarchy, making the
+// snooper safe to Clone from several goroutines at once: a frozen
+// snooper's Clone performs no writes. O(caches), not O(lines).
+func (s *Snooper) Freeze() {
+	for _, n := range s.Nodes {
+		n.Freeze()
+	}
+}
+
+// Materialize forces every cache to own every page — the deep-copy
+// endpoint used to price copy-on-write branching against eager cloning.
+func (s *Snooper) Materialize() {
+	for _, n := range s.Nodes {
+		n.Materialize()
+	}
 }
 
 // GrantResult describes the outcome of processing one bus request.

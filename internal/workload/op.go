@@ -113,6 +113,24 @@ type Hasher interface {
 	HashProgress(h *digest.Hash)
 }
 
+// Freezer is implemented by instances whose Clone shares mutable
+// buffers copy-on-write. Freeze relinquishes buffer ownership so a
+// frozen instance can be Cloned from several goroutines at once (Clone
+// on a frozen instance performs no writes); an instance that has run
+// since its last Freeze must be re-frozen before concurrent cloning.
+// Instances without Freeze are assumed to deep-copy in Clone, for
+// which no freeze step is needed.
+type Freezer interface {
+	Freeze()
+}
+
+// Materializer is the eager endpoint of the copy-on-write pair:
+// Materialize copies any buffers still shared with another instance,
+// making this one a full deep copy.
+type Materializer interface {
+	Materialize()
+}
+
 // Region is a contiguous range of the simulated physical address space.
 type Region struct {
 	Base uint64

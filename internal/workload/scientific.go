@@ -40,12 +40,13 @@ func (p *SciProfile) Validate() error {
 
 // sciThread is one worker thread's generator state.
 type sciThread struct {
-	rng   rng.Stream
-	ops   []Op
-	pos   int
-	phase int
-	done  bool
-	priv  Region
+	rng    rng.Stream
+	ops    []Op
+	pos    int
+	phase  int
+	done   bool
+	priv   Region
+	shared bool // ops buffer aliased with a clone; reallocate before reuse
 }
 
 // SciEngine implements Instance for barrier-phase scientific programs.
@@ -56,6 +57,7 @@ type SciEngine struct {
 	shared  Region
 	parts   []Region
 	code    Region
+	frozen  bool // all threads' ops buffers marked shared since last build
 }
 
 // NewSciEngine builds a scientific workload instance.
@@ -65,10 +67,10 @@ func NewSciEngine(prof SciProfile, seed uint64) *SciEngine {
 	}
 	e := &SciEngine{prof: prof, seed: seed}
 	base := TableBase
-	e.shared = Region{Base: base, Size: uint64(maxI64(prof.SharedBytes, 64))}
+	e.shared = Region{Base: base, Size: uint64(max(prof.SharedBytes, 64))}
 	base += e.shared.Size
 	for i := 0; i < prof.Threads; i++ {
-		sz := uint64(maxI64(prof.PartitionBytes, 64))
+		sz := uint64(max(prof.PartitionBytes, 64))
 		e.parts = append(e.parts, Region{Base: base, Size: sz})
 		base += sz
 	}
@@ -116,16 +118,37 @@ func (e *SciEngine) Next(tid int) Op {
 	return op
 }
 
-// Clone implements Instance.
-func (e *SciEngine) Clone() Instance {
-	cp := *e
-	cp.threads = make([]sciThread, len(e.threads))
-	for i, t := range e.threads {
-		nt := t
-		nt.ops = make([]Op, len(t.ops))
-		copy(nt.ops, t.ops)
-		cp.threads[i] = nt
+// Freeze marks every thread's op buffer as shared — see
+// TxnEngine.Freeze and workload.Freezer.
+func (e *SciEngine) Freeze() {
+	if e.frozen {
+		return
 	}
+	for i := range e.threads {
+		e.threads[i].shared = true
+	}
+	e.frozen = true
+}
+
+// Materialize copies any thread op buffers still shared with another
+// instance (see workload.Materializer).
+func (e *SciEngine) Materialize() {
+	for i := range e.threads {
+		t := &e.threads[i]
+		if t.shared {
+			t.ops = append([]Op(nil), t.ops...)
+			t.shared = false
+		}
+	}
+	e.frozen = false
+}
+
+// Clone implements Instance. The per-thread op buffers are shared
+// copy-on-write, as in TxnEngine.Clone.
+func (e *SciEngine) Clone() Instance {
+	e.Freeze()
+	cp := *e
+	cp.threads = append([]sciThread(nil), e.threads...)
 	cp.parts = append([]Region(nil), e.parts...)
 	return &cp
 }
@@ -133,6 +156,12 @@ func (e *SciEngine) Clone() Instance {
 // buildPhase expands one barrier phase for thread tid.
 func (e *SciEngine) buildPhase(tid int) {
 	t := &e.threads[tid]
+	if t.shared {
+		// Aliased with a snapshot clone: drop, don't truncate in place.
+		t.ops = nil
+		t.shared = false
+		e.frozen = false
+	}
 	t.ops = t.ops[:0]
 	t.pos = 0
 	p := e.prof
@@ -172,7 +201,7 @@ func (e *SciEngine) buildPhase(tid int) {
 	}
 	sharedEvery := 0
 	if p.SharedReads > 0 {
-		sharedEvery = maxInt(touches/p.SharedReads, 1)
+		sharedEvery = max(touches/p.SharedReads, 1)
 	}
 	for i := 0; i < touches; i++ {
 		addr := part.At(uint64(int64(i) * stride))
@@ -205,11 +234,4 @@ func (e *SciEngine) buildPhase(tid int) {
 	emit(Op{Kind: OpLockRel, ID: 0, Addr: LockWordAddr(0)})
 	emit(Op{Kind: OpBarrier, ID: 0})
 	t.phase++
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -86,11 +86,12 @@ func (p *TxnProfile) Validate() error {
 
 // txnThread is one user thread's generator state.
 type txnThread struct {
-	rng  rng.Stream
-	ops  []Op
-	pos  int
-	priv Region
-	poff uint64 // rotating private offset
+	rng    rng.Stream
+	ops    []Op
+	pos    int
+	priv   Region
+	poff   uint64 // rotating private offset
+	shared bool   // ops buffer aliased with a clone; reallocate before reuse
 }
 
 // TxnEngine implements Instance for throughput-oriented transactional
@@ -104,6 +105,7 @@ type TxnEngine struct {
 	feed    int64
 	logHead uint64
 	threads []txnThread
+	frozen  bool // all threads' ops buffers marked shared since last build
 
 	tableRegions []Region
 	codeRegions  []Region
@@ -195,16 +197,42 @@ func (e *TxnEngine) Next(tid int) Op {
 	return op
 }
 
-// Clone implements Instance.
-func (e *TxnEngine) Clone() Instance {
-	cp := *e
-	cp.threads = make([]txnThread, len(e.threads))
-	for i, t := range e.threads {
-		nt := t
-		nt.ops = make([]Op, len(t.ops))
-		copy(nt.ops, t.ops)
-		cp.threads[i] = nt
+// Freeze marks every thread's op buffer as shared, so both this engine
+// and its future clones reallocate (rather than truncate-and-refill)
+// the buffer at their next transaction build. Part of the copy-on-write
+// snapshot protocol (see workload.Freezer).
+func (e *TxnEngine) Freeze() {
+	if e.frozen {
+		return
 	}
+	for i := range e.threads {
+		e.threads[i].shared = true
+	}
+	e.frozen = true
+}
+
+// Materialize copies any thread op buffers still shared with another
+// instance (see workload.Materializer).
+func (e *TxnEngine) Materialize() {
+	for i := range e.threads {
+		t := &e.threads[i]
+		if t.shared {
+			t.ops = append([]Op(nil), t.ops...)
+			t.shared = false
+		}
+	}
+	e.frozen = false
+}
+
+// Clone implements Instance. The per-thread op buffers are shared
+// copy-on-write: each side reallocates its buffer the first time it
+// builds a new transaction. Cloning freezes e if needed (a write); to
+// clone concurrently, Freeze first — Clone on a frozen engine is
+// read-only.
+func (e *TxnEngine) Clone() Instance {
+	e.Freeze()
+	cp := *e
+	cp.threads = append([]txnThread(nil), e.threads...)
 	cp.tableRegions = append([]Region(nil), e.tableRegions...)
 	cp.codeRegions = append([]Region(nil), e.codeRegions...)
 	cp.lockBase = append([]int32(nil), e.lockBase...)
@@ -338,6 +366,14 @@ func (b *builder) private() {
 // it into ops in the thread's buffer.
 func (e *TxnEngine) buildTxn(tid int) {
 	t := &e.threads[tid]
+	if t.shared {
+		// Buffer aliased with a snapshot clone: drop it instead of
+		// truncating in place (the appends below would stomp the
+		// clone's pending ops).
+		t.ops = nil
+		t.shared = false
+		e.frozen = false
+	}
 	t.ops = t.ops[:0]
 	t.pos = 0
 
@@ -446,7 +482,7 @@ func (e *TxnEngine) buildTxn(tid int) {
 			if dur < 1000 {
 				dur = 1000
 			}
-			disk := 1 + r.Intn(maxInt(e.prof.DataDisks, 1))
+			disk := 1 + r.Intn(max(e.prof.DataDisks, 1))
 			b.emit(Op{Kind: OpIO, N: dur, ID: int32(disk)})
 		}
 		if s == lockEnd-1 && lockID >= 0 {
@@ -475,11 +511,4 @@ func (e *TxnEngine) buildTxn(tid int) {
 	b.compute(instr / 2)
 	b.emit(Op{Kind: OpRet})
 	b.emit(Op{Kind: OpTxnEnd, ID: int32(ci)})
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
