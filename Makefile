@@ -8,7 +8,8 @@
 # graph, whose builder tests run concurrent type-checks — and the
 # copy-on-write layers: the machine's frozen-base snapshot path and the
 # checkpoint base cache, whose tests branch siblings from shared frozen
-# state concurrently). `make lint`
+# state concurrently — and the adaptive sampler, whose process-wide
+# counters and live report are fed from fleet workers). `make lint`
 # runs varsimlint, the determinism-contract analyzer suite (detwall,
 # puritywall, seedflow, maporder, kindexhaust inside the wall;
 # synccheck, stickyerr, floatorder outside it; staleallow auditing the
@@ -24,7 +25,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test bench bench-json bench-digest bench-snapshot vet lint lint-sarif lint-baseline race fuzz-smoke check clean
+.PHONY: all build test bench bench-json bench-digest bench-snapshot bench-sampling vet lint lint-sarif lint-baseline race fuzz-smoke check clean
 
 all: build
 
@@ -60,6 +61,13 @@ bench-digest:
 bench-snapshot:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkSnapshot$$|BenchmarkSnapshotDeep$$|BranchThenTouch' -benchtime 10x -count 5 -out BENCH_snapshot.json
 
+# Adaptive-sampling record: the Table-3-shaped matrix scheduled by the
+# paper's §5.1.1 target (±4% at 95%) against a 20-run fixed-N baseline,
+# with the computed runs_saved_pct (acceptance: >= 66.7%, i.e. at
+# least 3x fewer runs than fixed-N) — see docs/SAMPLING.md.
+bench-sampling:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkAdaptiveTable3$$' -benchtime 1x -count 3 -out BENCH_sampling.json
+
 vet:
 	$(GO) vet ./...
 
@@ -76,7 +84,7 @@ lint-baseline:
 	$(GO) run ./cmd/varsimlint -baseline lint.baseline.json -write-baseline ./...
 
 race:
-	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs ./internal/journal ./internal/faultinject ./internal/core ./internal/precision ./internal/lint/callgraph ./internal/machine ./internal/checkpoint
+	$(GO) test -race ./internal/fleet ./internal/sim ./internal/metrics ./internal/report ./internal/trace ./internal/obs ./internal/journal ./internal/faultinject ./internal/core ./internal/precision ./internal/lint/callgraph ./internal/machine ./internal/checkpoint ./internal/sampling
 
 # Go's fuzzer accepts one target per invocation; each run seeds from the
 # committed corpus under the package's testdata/fuzz and then mutates
@@ -87,6 +95,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzCI$$' -fuzztime=$(FUZZTIME) ./internal/stats
 	$(GO) test -run='^$$' -fuzz='^FuzzANOVA$$' -fuzztime=$(FUZZTIME) ./internal/stats
 	$(GO) test -run='^$$' -fuzz='^FuzzStream$$' -fuzztime=$(FUZZTIME) ./internal/stats
+	$(GO) test -run='^$$' -fuzz='^FuzzDecisionCodec$$' -fuzztime=$(FUZZTIME) ./internal/sampling
 
 check: vet lint test race
 	$(GO) build ./...

@@ -303,3 +303,40 @@ func benchRunDigests(b *testing.B, digests bool) {
 
 func BenchmarkRunDigestsDisabled(b *testing.B) { benchRunDigests(b, false) }
 func BenchmarkRunDigestsEnabled(b *testing.B)  { benchRunDigests(b, true) }
+
+// BenchmarkAdaptiveTable3 prices the adaptive scheduler on the Table-3
+// shape: one arm per benchmark workload, each scheduled by the paper's
+// §5.1.1 target (±4% of the mean at 95% confidence) against a 20-run
+// fixed-N baseline. Besides the wall time it reports runs_saved_pct —
+// the fraction of the fixed-N runs the early stopping avoided — which
+// `make bench-sampling` records to BENCH_sampling.json (acceptance:
+// at least 3x fewer runs than fixed-N, i.e. >= 66.7% saved).
+func BenchmarkAdaptiveTable3(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 4
+	target := SamplingTarget{RelErr: 0.04, Confidence: 0.95, MinRuns: 4, MaxRuns: 20}
+	var executed, fixed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arms := make([]SamplingArm, 0, 3)
+		for _, w := range []string{"oltp", "apache", "specjbb"} {
+			e := Experiment{
+				Label: w, Config: cfg, Workload: w, WorkloadSeed: 7,
+				WarmupTxns: 30, MeasureTxns: 30, Runs: 20,
+				SeedBase: 0x33, Workers: 4,
+			}
+			_, arm, err := e.AdaptiveSpace(target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arms = append(arms, arm)
+		}
+		rep := SamplingReport{Target: target.Normalize(), Arms: arms}
+		rep.Finalize()
+		executed += int64(rep.Executed)
+		fixed += int64(rep.FixedN)
+	}
+	if fixed > 0 {
+		b.ReportMetric(100*(1-float64(executed)/float64(fixed)), "runs_saved_pct")
+	}
+}

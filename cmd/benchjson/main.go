@@ -38,6 +38,10 @@ type Result struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
 	AllocsRate int64   `json:"allocs_per_op,omitempty"`
+	// RunsSavedPct is the adaptive scheduler's custom metric (see
+	// BenchmarkAdaptiveTable3): the percentage of fixed-N runs the
+	// early stopping avoided.
+	RunsSavedPct float64 `json:"runs_saved_pct,omitempty"`
 }
 
 // Document is the JSON artifact benchjson writes.
@@ -74,6 +78,11 @@ type Document struct {
 	// ratio is the write-fault tax: page copies a copy-on-write branch
 	// performs lazily as the window touches state.
 	BranchTouchSpeedup float64 `json:"branch_touch_speedup,omitempty"`
+	// RunsSavedPct is BenchmarkAdaptiveTable3's runs_saved_pct metric
+	// when it ran — the BENCH_sampling.json acceptance number (at
+	// least 3x fewer runs than fixed-N, i.e. >= 66.7% saved). A
+	// pointer so a genuine 0% still appears in the artifact.
+	RunsSavedPct *float64 `json:"runs_saved_pct,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -81,6 +90,10 @@ type Document struct {
 //	BenchmarkSnapshot-4   20   4665355 ns/op   20236873 B/op   179 allocs/op
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:.*?\s([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+// savedMetric matches the runs_saved_pct custom metric ReportMetric
+// appends between ns/op and the -benchmem columns.
+var savedMetric = regexp.MustCompile(`([\d.]+) runs_saved_pct`)
 
 func main() {
 	bench := flag.String("bench", "BranchSpace|BenchmarkSnapshot$|RegistrySnapshot", "benchmark regex passed to go test -bench")
@@ -132,6 +145,9 @@ func main() {
 			r.BytesPerOp = int64(bpo)
 			r.AllocsRate, _ = strconv.ParseInt(m[5], 10, 64)
 		}
+		if sm := savedMetric.FindStringSubmatch(sc.Text()); sm != nil {
+			r.RunsSavedPct, _ = strconv.ParseFloat(sm[1], 64)
+		}
 		if prev, seen := byName[r.Name]; seen {
 			if prev.NsPerOp <= r.NsPerOp {
 				continue
@@ -175,6 +191,10 @@ func main() {
 	if okT && okTD && touch.NsPerOp > 0 {
 		doc.BranchTouchSpeedup = touchDeep.NsPerOp / touch.NsPerOp
 	}
+	if ad, ok := byName["BenchmarkAdaptiveTable3"]; ok {
+		pct := ad.RunsSavedPct
+		doc.RunsSavedPct = &pct
+	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -199,6 +219,9 @@ func main() {
 	}
 	if doc.BranchTouchSpeedup > 0 {
 		fmt.Printf(" (branch+touch %.2fx)", doc.BranchTouchSpeedup)
+	}
+	if doc.RunsSavedPct != nil {
+		fmt.Printf(" (adaptive saved %.1f%% of fixed-N runs)", *doc.RunsSavedPct)
 	}
 	fmt.Println()
 }

@@ -51,6 +51,7 @@ import (
 	"varsim/internal/precision"
 	"varsim/internal/profile"
 	"varsim/internal/report"
+	"varsim/internal/sampling"
 )
 
 func main() {
@@ -70,6 +71,9 @@ func main() {
 	resumeDir := flag.String("resume", "", "resume from a journal directory (re-run the same experiments; journaled runs replay as cache hits)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-clock timeout per run attempt (0 = unbounded)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed run (the retry reuses the run's original derived seed)")
+	adaptive := flag.Bool("adaptive", false, "override the sampling experiment's stopping rule with -rel-err/-budget (the experiment runs adaptively either way; see docs/SAMPLING.md)")
+	relErr := flag.Float64("rel-err", 0, "adaptive/precision target: tolerated relative error of the mean (a fraction: 0.04 = ±4%; 0 = default)")
+	budget := flag.Int("budget", 0, "adaptive: run budget per configuration (0 = the fixed-N baseline)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-seed N] <experiment>... | all\n\nexperiments:\n", os.Args[0])
 		for _, e := range harness.Experiments() {
@@ -155,7 +159,8 @@ func main() {
 	// achieved-vs-requested fragment. The tracker fills in host
 	// completion order and never writes to stdout, so the printed
 	// tables stay byte-identical.
-	trk := precision.New(precision.DefaultRelErr, precision.DefaultConfidence)
+	trk := precision.New(*relErr, precision.DefaultConfidence)
+	trk.TrackSampling(sampling.Latest)
 	resil.Observe = func(k journal.Key, r machine.Result) {
 		trk.Observe(k.Experiment, k.ConfigHash, "cpt", r.CPT)
 	}
@@ -188,6 +193,7 @@ func main() {
 		}
 		tracker = obs.NewFleet(names, machine.SimulatedCycles)
 		tracker.TrackJobs(fleet.Read)
+		tracker.TrackSampling(sampling.Read)
 		if jw != nil || jc != nil {
 			tracker.TrackJournal(journal.ReadStats)
 		}
@@ -212,9 +218,13 @@ func main() {
 	if *csvDir != "" || *jsonOut != "" {
 		collector = report.NewCollector()
 	}
+	var at *sampling.Target
+	if *adaptive || *relErr > 0 || *budget > 0 {
+		at = &sampling.Target{RelErr: *relErr, MaxRuns: *budget}
+	}
 	h := harness.New(harness.Options{
 		Out: os.Stdout, Seed: *seed, Quick: *quick, Workers: *workers, Report: collector,
-		Resilience: resil,
+		Resilience: resil, Adaptive: at,
 		OnProgress: func(p harness.Progress) {
 			if p.Done {
 				tracker.Finish(p.Experiment, p.Err)

@@ -19,6 +19,14 @@
 //	varsim diff -A out/ -run-a 0 -run-b 3
 //	varsim -workload oltp -runs 20 -txns 200 -precision
 //	varsim precision -journal out/ -rel-err 0.04
+//	varsim -workload oltp -runs 20 -txns 200 -adaptive -rel-err 0.04
+//
+// -adaptive schedules the perturbed runs in rounds and stops as soon
+// as the confidence interval meets the -rel-err/-confidence target
+// (-budget caps the total); the space report is followed by the
+// achieved-vs-requested table and the runs saved against the fixed -runs
+// baseline. Decisions are journaled, so an interrupted adaptive run
+// -resumes with the exact same stop choices (docs/SAMPLING.md).
 //
 // -digest-us records a cheap per-component state digest every N
 // simulated microseconds inside each run and prints the cross-run
@@ -67,6 +75,7 @@ import (
 	"varsim/internal/precision"
 	"varsim/internal/profile"
 	"varsim/internal/report"
+	"varsim/internal/sampling"
 	"varsim/internal/traceviz"
 )
 
@@ -135,6 +144,8 @@ func main() {
 		precTable = flag.Bool("precision", false, "print the achieved-vs-requested precision table after the space report (fed in run-index order; byte-identical at any -j)")
 		relErrF   = flag.Float64("rel-err", precision.DefaultRelErr, "precision target: tolerated relative error of the mean (a fraction: 0.04 = ±4%)")
 		confF     = flag.Float64("confidence", precision.DefaultConfidence, "precision target: confidence level of the interval, in (0,1)")
+		adaptive  = flag.Bool("adaptive", false, "schedule runs adaptively: stop once the CI meets -rel-err at -confidence (-runs becomes the fixed-N baseline for the runs-saved accounting; see docs/SAMPLING.md)")
+		budget    = flag.Int("budget", 0, "adaptive: hard cap on runs per configuration (0 = the sampling default)")
 
 		journalDir = flag.String("journal", "", "write a crash-safe result journal and the experiment spec into this directory")
 		resumeDir  = flag.String("resume", "", "resume a journaled run from this directory (replays completed runs, executes the rest)")
@@ -170,6 +181,7 @@ func main() {
 	if *httpAddr != "" {
 		rc.pub = obs.NewPublisher()
 		rc.trk = precision.New(*relErrF, *confF)
+		rc.trk.TrackSampling(sampling.Latest)
 		srv, err := obs.Serve(*httpAddr, obs.Options{
 			Publisher: rc.pub,
 			SimCycles: varsim.SimulatedCycles,
@@ -200,6 +212,11 @@ func main() {
 		SeedBase:         *pseed,
 		Workers:          *workers,
 		DigestIntervalNS: *digestUS * 1000,
+	}
+	if *adaptive {
+		// The target rides in the experiment spec, so a -resume replays
+		// the same stopping rule and the journaled barrier decisions.
+		e.Adaptive = &sampling.Target{RelErr: *relErrF, Confidence: *confF, MaxRuns: *budget}
 	}
 
 	// Crash-safety plumbing: -resume rebuilds the experiment from the
@@ -357,6 +374,29 @@ func run(e varsim.Experiment, rc runCfg) error {
 		}
 		printResult(res)
 		return nil
+	}
+
+	// Adaptive scheduling replaces the fixed-N branch entirely: rounds
+	// run until the CI meets the target, every decision is journaled,
+	// and a resume whose journal covers the schedule replays it without
+	// preparing the machine (Rounds builds the checkpoint lazily).
+	if e.Adaptive != nil {
+		if rc.fromRcp != "" || rc.saveRcp != "" || rc.intervalUS > 0 || rc.perfetto != "" || e.DigestIntervalNS > 0 {
+			return errors.New("varsim: -adaptive does not combine with -from-recipe, -save-recipe, -interval-us, -perfetto or -digest-us")
+		}
+		sp, arm, runErr := e.AdaptiveSpace(*e.Adaptive)
+		var inc *fleet.Incomplete
+		if runErr != nil && !errors.As(runErr, &inc) {
+			return runErr
+		}
+		rep := sampling.Report{Target: e.Adaptive.Normalize(), Arms: []sampling.Arm{arm}}
+		rep.Finalize()
+		report.WriteSpace(os.Stdout, sp)
+		report.WriteSampling(os.Stdout, rep)
+		if rc.precTable && runErr == nil {
+			printPrecisionTable(sp, journal.ConfigHash(e.Config), rc.relErr, rc.conf)
+		}
+		return runErr
 	}
 
 	// A resume whose journal already covers every run replays the whole

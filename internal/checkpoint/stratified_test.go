@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"varsim/internal/config"
+	"varsim/internal/core"
+	"varsim/internal/report"
+	"varsim/internal/sampling"
+)
+
+// stratifiedExperiment is the AdaptiveTimeSample fixture; Runs is the
+// per-stratum fixed-N baseline.
+func stratifiedExperiment(workers int) core.Experiment {
+	cfg := config.Default()
+	cfg.NumCPUs = 4
+	return core.Experiment{
+		Label:        "strat-test",
+		Config:       cfg,
+		Workload:     "oltp",
+		WorkloadSeed: 7,
+		WarmupTxns:   20,
+		MeasureTxns:  15,
+		Runs:         8,
+		SeedBase:     0xFEED,
+		Workers:      workers,
+	}
+}
+
+// TestAdaptiveTimeSampleRunIdentity pins the identity clause of the
+// stratified contract: with the stopping rule pinned to exactly the
+// fixed-N size (MinRuns = MaxRuns = Runs), AdaptiveTimeSample executes
+// the same runs TimeSample would — same per-stratum labels, seed bases
+// and run indices — so the two produce identical values per stratum.
+func TestAdaptiveTimeSampleRunIdentity(t *testing.T) {
+	e := stratifiedExperiment(1)
+	e.Runs = 4
+	cks := []int64{20, 40}
+	fixed, err := e.TimeSample(cks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := sampling.Target{MinRuns: e.Runs, MaxRuns: e.Runs, RoundSize: e.Runs}
+	spaces, arm, err := AdaptiveTimeSample(NewBaseCache(), e, cks, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arm.Executed != e.Runs*len(cks) {
+		t.Fatalf("pinned schedule executed %d runs, want %d", arm.Executed, e.Runs*len(cks))
+	}
+	if len(spaces) != len(fixed) {
+		t.Fatalf("stratum count: adaptive %d, fixed %d", len(spaces), len(fixed))
+	}
+	for ci := range spaces {
+		if spaces[ci].Label != fixed[ci].Label {
+			t.Errorf("stratum %d label: adaptive %q, fixed %q", ci, spaces[ci].Label, fixed[ci].Label)
+		}
+		if len(spaces[ci].Values) != len(fixed[ci].Values) {
+			t.Fatalf("stratum %d: adaptive %d values, fixed %d", ci, len(spaces[ci].Values), len(fixed[ci].Values))
+		}
+		for i := range spaces[ci].Values {
+			if spaces[ci].Values[i] != fixed[ci].Values[i] {
+				t.Errorf("stratum %d run %d: adaptive %v != fixed %v — run identity drifted",
+					ci, i, spaces[ci].Values[i], fixed[ci].Values[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveTimeSampleWidthByteIdentical pins width independence for
+// the stratified driver: a multi-round schedule (tiny relative-error
+// target, small rounds) renders byte-identically at widths 1, 4 and
+// NumCPU.
+func TestAdaptiveTimeSampleWidthByteIdentical(t *testing.T) {
+	tgt := sampling.Target{RelErr: 1e-6, MinRuns: 2, MaxRuns: 6, RoundSize: 2}
+	cks := []int64{20, 40}
+	render := func(width int) []byte {
+		e := stratifiedExperiment(width)
+		spaces, arm, err := AdaptiveTimeSample(NewBaseCache(), e, cks, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, sp := range spaces {
+			report.WriteSpace(&buf, sp)
+		}
+		rep := sampling.Report{Target: tgt.Normalize(), Arms: []sampling.Arm{arm}}
+		rep.Finalize()
+		report.WriteSampling(&buf, rep)
+		return buf.Bytes()
+	}
+	want := render(1)
+	if !bytes.Contains(want, []byte("budget")) {
+		t.Fatalf("fixture drifted: 1e-6 target should settle at the budget\n%s", want)
+	}
+	for _, width := range []int{4, runtime.NumCPU()} {
+		if got := render(width); !bytes.Equal(got, want) {
+			t.Errorf("stratified schedule differs at width %d\n got:\n%s\nwant:\n%s", width, got, want)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Adaptive-schedule integration tests: the docs/SAMPLING.md
+// determinism contract asserted over rendered report bytes — width
+// independence, kill-and-resume with journaled decision replay,
+// shuffled completion order under retries, exactly-once observation,
+// and recovery from a journal torn mid-decision-record. External test
+// package so the spaces and arms render through internal/report.
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"varsim/internal/config"
+	"varsim/internal/core"
+	"varsim/internal/faultinject"
+	"varsim/internal/fleet"
+	"varsim/internal/journal"
+	"varsim/internal/machine"
+	"varsim/internal/report"
+	"varsim/internal/sampling"
+)
+
+// adaptiveTarget never converges on real perturbation noise (the
+// relative-error target is far below the workload's CoV), so every
+// arm runs to the MaxRuns budget: a deterministic 3-round schedule
+// (pilot 4, then 4+4) whose run count the tests can rely on.
+func adaptiveTarget() sampling.Target {
+	return sampling.Target{RelErr: 1e-6, MinRuns: 4, MaxRuns: 12, RoundSize: 4}
+}
+
+// adaptiveExperiment mirrors resumeExperiment; Runs is the fixed-N
+// baseline the runs-saved accounting compares against.
+func adaptiveExperiment(workers int) core.Experiment {
+	cfg := config.Default()
+	cfg.NumCPUs = 4
+	return core.Experiment{
+		Label:        "adaptive-test",
+		Config:       cfg,
+		Workload:     "oltp",
+		WorkloadSeed: 7,
+		WarmupTxns:   20,
+		MeasureTxns:  20,
+		Runs:         20,
+		SeedBase:     0xFEED,
+		Workers:      workers,
+	}
+}
+
+// renderAdaptive is the byte-identity surface: the space plus the
+// adaptive report built from the arm.
+func renderAdaptive(sp core.Space, arm sampling.Arm, t sampling.Target) []byte {
+	var buf bytes.Buffer
+	report.WriteSpace(&buf, sp)
+	rep := sampling.Report{Target: t.Normalize(), Arms: []sampling.Arm{arm}}
+	rep.Finalize()
+	report.WriteSampling(&buf, rep)
+	return buf.Bytes()
+}
+
+// TestAdaptiveWidthByteIdentical pins the barrier contract: decisions
+// depend only on the index-ordered merge of each round, so the
+// adaptive schedule — which runs it executes and what it reports — is
+// byte-identical at any fleet width.
+func TestAdaptiveWidthByteIdentical(t *testing.T) {
+	tgt := adaptiveTarget()
+	base := adaptiveExperiment(1)
+	sp, arm, err := base.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arm.Status != sampling.StatusBudget || arm.Executed != 12 {
+		t.Fatalf("fixture drifted: want a 12-run budget settle, got %d runs, status %s",
+			arm.Executed, arm.Status)
+	}
+	want := renderAdaptive(sp, arm, tgt)
+
+	for _, width := range []int{4, runtime.NumCPU()} {
+		e := adaptiveExperiment(width)
+		wsp, warm, err := e.AdaptiveSpace(tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAdaptive(wsp, warm, tgt); !bytes.Equal(got, want) {
+			t.Errorf("adaptive schedule differs at width %d\n got:\n%s\nwant:\n%s", width, got, want)
+		}
+	}
+}
+
+// TestAdaptiveRunIdentityMatchesFixedN pins the run-identity half of
+// the contract: every run the adaptive schedule executes keeps the
+// exact (experiment, config hash, derived seed, run index) identity
+// the fixed-N path gives it, so the adaptive values are a prefix of
+// the fixed-N space's values.
+func TestAdaptiveRunIdentityMatchesFixedN(t *testing.T) {
+	tgt := adaptiveTarget()
+	e := adaptiveExperiment(4)
+	sp, arm, err := e.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := adaptiveExperiment(4)
+	f.Runs = arm.Executed
+	fixed, err := f.RunSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Values) != len(fixed.Values) {
+		t.Fatalf("adaptive executed %d runs, fixed-N prefix has %d", len(sp.Values), len(fixed.Values))
+	}
+	for i := range sp.Values {
+		if sp.Values[i] != fixed.Values[i] {
+			t.Errorf("run %d: adaptive %v != fixed-N %v — identity drifted", i, sp.Values[i], fixed.Values[i])
+		}
+	}
+}
+
+// TestAdaptiveKillAndResumeByteIdentical drains an adaptive run
+// mid-flight and resumes it from the journal: the resumed schedule
+// must replay the journaled runs and decisions and end byte-identical
+// to an uninterrupted run, at every fleet width.
+func TestAdaptiveKillAndResumeByteIdentical(t *testing.T) {
+	tgt := adaptiveTarget()
+	base := adaptiveExperiment(1)
+	bsp, barm, err := base.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAdaptive(bsp, barm, tgt)
+
+	for _, width := range []int{1, 4, runtime.NumCPU()} {
+		t.Run(label(width), func(t *testing.T) {
+			dir := t.TempDir()
+			jw, err := journal.CreateDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hook := &faultinject.Hook{StopAfter: 2, Stop: make(chan struct{})}
+			e := adaptiveExperiment(width)
+			e.Resilience = core.Resilience{Journal: jw, Stop: hook.Stop, TestHook: hook}
+			part, parm, err := e.AdaptiveSpace(tgt)
+			var inc *fleet.Incomplete
+			if !errors.As(err, &inc) {
+				t.Fatalf("drained adaptive run returned %v, want *fleet.Incomplete", err)
+			}
+			if parm.Status != sampling.StatusIncomplete {
+				t.Fatalf("drained arm status = %s, want %s", parm.Status, sampling.StatusIncomplete)
+			}
+			if got := renderAdaptive(part, parm, tgt); !bytes.Contains(got, []byte("INCOMPLETE")) {
+				t.Fatalf("partial adaptive report missing INCOMPLETE banner:\n%s", got)
+			}
+			if jerr := jw.Err(); jerr != nil {
+				t.Fatalf("journal writer failed during drain: %v", jerr)
+			}
+			// No jw.Close(): a killed process never closes its journal.
+
+			jc, jw2, err := journal.OpenDir(dir, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jc.Len() != len(part.Values) {
+				t.Fatalf("journal replayed %d run records, drained run settled %d", jc.Len(), len(part.Values))
+			}
+			r := adaptiveExperiment(width)
+			r.Resilience = core.Resilience{Journal: jw2, Cache: jc}
+			full, farm, err := r.AdaptiveSpace(tgt)
+			if err != nil {
+				t.Fatalf("resume failed: %v", err)
+			}
+			if cerr := jw2.Close(); cerr != nil {
+				t.Fatalf("resume journal close: %v", cerr)
+			}
+			if got := renderAdaptive(full, farm, tgt); !bytes.Equal(got, want) {
+				t.Errorf("resumed adaptive run differs from uninterrupted run at width %d\n got:\n%s\nwant:\n%s",
+					width, got, want)
+			}
+			// The finished journal carries one decision per barrier; a
+			// second resume replays the schedule without running anything.
+			jc2, jw3, err := journal.OpenDir(dir, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jw3.Close()
+			if jc2.DecisionLen() != farm.Rounds {
+				t.Errorf("journal holds %d decisions, schedule took %d barriers", jc2.DecisionLen(), farm.Rounds)
+			}
+			if jc2.Len() != farm.Executed {
+				t.Errorf("journal holds %d run records, schedule executed %d", jc2.Len(), farm.Executed)
+			}
+		})
+	}
+}
+
+// TestAdaptiveShuffledCompletionByteIdentical shuffles host completion
+// order — every run fails its first attempt and retries, so workers
+// settle out of index order — and asserts the adaptive schedule still
+// renders byte-identically: decisions read the index-ordered merge,
+// never arrival order.
+func TestAdaptiveShuffledCompletionByteIdentical(t *testing.T) {
+	tgt := adaptiveTarget()
+	clean := adaptiveExperiment(4)
+	csp, carm, err := clean.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAdaptive(csp, carm, tgt)
+
+	failEach := map[int]int{}
+	for i := 0; i < 12; i++ {
+		failEach[i] = 1
+	}
+	e := adaptiveExperiment(4)
+	e.Resilience = core.Resilience{
+		Retries:  2,
+		TestHook: &faultinject.Hook{FailTimes: failEach},
+	}
+	sp, arm, err := e.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatalf("retried adaptive run failed: %v", err)
+	}
+	if got := renderAdaptive(sp, arm, tgt); !bytes.Equal(got, want) {
+		t.Errorf("retried adaptive run differs from clean run\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdaptiveResumeObservesExactlyOnce is the regression test for the
+// precision-tracker double count: when a resumed journal overlaps the
+// round the drain interrupted, the resubmitted round replays some runs
+// from the cache while executing the rest — and without the
+// ObserveOnce guard the overlap was observed twice (once by the round
+// replay, once by the per-run cache hit). Every run key must reach the
+// observer exactly once across the whole resume.
+func TestAdaptiveResumeObservesExactlyOnce(t *testing.T) {
+	tgt := adaptiveTarget()
+	dir := t.TempDir()
+	jw, err := journal.CreateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := &faultinject.Hook{StopAfter: 2, Stop: make(chan struct{})}
+	e := adaptiveExperiment(4)
+	e.Resilience = core.Resilience{Journal: jw, Stop: hook.Stop, TestHook: hook}
+	_, _, err = e.AdaptiveSpace(tgt)
+	var inc *fleet.Incomplete
+	if !errors.As(err, &inc) {
+		t.Fatalf("drained adaptive run returned %v, want *fleet.Incomplete", err)
+	}
+
+	jc, jw2, err := journal.OpenDir(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw2.Close()
+	var mu sync.Mutex
+	seen := map[journal.Key]int{}
+	r := adaptiveExperiment(4)
+	r.Resilience = core.Resilience{
+		Journal: jw2, Cache: jc,
+		Observe: func(k journal.Key, _ machine.Result) {
+			mu.Lock()
+			seen[k]++
+			mu.Unlock()
+		},
+	}
+	_, arm, err := r.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if len(seen) != arm.Executed {
+		t.Errorf("observer saw %d distinct keys, schedule executed %d runs", len(seen), arm.Executed)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("key %+v observed %d times, want exactly once", k, n)
+		}
+	}
+}
+
+// TestAdaptiveResumeTornDecisionRecord tears the journal mid-way
+// through its final record — the settling decision — and resumes: the
+// recovery pass must drop the torn line, the driver must re-derive the
+// lost decision from the replayed values, and the result must stay
+// byte-identical to the uninterrupted run.
+func TestAdaptiveResumeTornDecisionRecord(t *testing.T) {
+	tgt := adaptiveTarget()
+	dir := t.TempDir()
+	jw, err := journal.CreateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := adaptiveExperiment(4)
+	e.Resilience = core.Resilience{Journal: jw}
+	sp, arm, err := e.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := renderAdaptive(sp, arm, tgt)
+
+	// Tear the file inside its last record. The final append is the
+	// settling barrier decision, so the truncation simulates a crash
+	// mid-decision-write.
+	path := filepath.Join(dir, journal.FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jc, jw2, err := journal.OpenDir(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw2.Close()
+	if jc.DecisionLen() >= arm.Rounds {
+		t.Fatalf("truncation did not tear a decision: %d decisions survive of %d", jc.DecisionLen(), arm.Rounds)
+	}
+	r := adaptiveExperiment(4)
+	r.Resilience = core.Resilience{Journal: jw2, Cache: jc}
+	full, farm, err := r.AdaptiveSpace(tgt)
+	if err != nil {
+		t.Fatalf("resume after torn decision failed: %v", err)
+	}
+	if got := renderAdaptive(full, farm, tgt); !bytes.Equal(got, want) {
+		t.Errorf("resume after torn decision differs from uninterrupted run\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestObserveOnce pins the deduplication guard itself: a wrapped
+// observer fires once per key however many times a replay overlap
+// repeats it, and a nil observer stays nil (the guard adds no cost to
+// the plain path).
+func TestObserveOnce(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[journal.Key]int{}
+	r := core.Resilience{Observe: func(k journal.Key, _ machine.Result) {
+		mu.Lock()
+		seen[k]++
+		mu.Unlock()
+	}}
+	once := r.ObserveOnce()
+	a := journal.Key{Experiment: "e", ConfigHash: "h", Seed: 1, Index: 0}
+	b := journal.Key{Experiment: "e", ConfigHash: "h", Seed: 2, Index: 1}
+	for i := 0; i < 3; i++ {
+		once.Observe(a, machine.Result{})
+		once.Observe(b, machine.Result{})
+	}
+	if seen[a] != 1 || seen[b] != 1 {
+		t.Errorf("observed a=%d b=%d times, want exactly once each", seen[a], seen[b])
+	}
+	if nilRes := (core.Resilience{}).ObserveOnce(); nilRes.Observe != nil {
+		t.Error("ObserveOnce invented an observer for the plain path")
+	}
+}
+
+// TestAdaptiveMatrixWidthAndPruneDeterminism runs a three-arm matrix
+// whose configurations separate (DRAM supply latency swept far apart)
+// and pins both halves of the matrix contract: the prune verdicts are
+// decided by interval separation — so the slow arms settle as pruned —
+// and the whole report renders byte-identically at every width.
+func TestAdaptiveMatrixWidthAndPruneDeterminism(t *testing.T) {
+	tgt := adaptiveTarget()
+	matrix := func(width int) []core.Experiment {
+		es := make([]core.Experiment, 3)
+		for i, supply := range []int64{80, 400, 800} {
+			e := adaptiveExperiment(width)
+			e.Label = [3]string{"dram-80", "dram-400", "dram-800"}[i]
+			e.Config.MemSupplyNS = supply
+			es[i] = e
+		}
+		return es
+	}
+	render := func(spaces []core.Space, rep sampling.Report) []byte {
+		var buf bytes.Buffer
+		for _, sp := range spaces {
+			report.WriteSpace(&buf, sp)
+		}
+		report.WriteSampling(&buf, rep)
+		return buf.Bytes()
+	}
+	spaces, rep, err := core.AdaptiveMatrix(matrix(1), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(spaces, rep)
+	if len(rep.Pruned) == 0 {
+		t.Error("no arm pruned: 10x DRAM latency spread should separate the intervals")
+	}
+	for _, name := range rep.Pruned {
+		if name == "dram-80" {
+			t.Error("the best arm (dram-80) was pruned")
+		}
+	}
+	for _, width := range []int{4, runtime.NumCPU()} {
+		wspaces, wrep, err := core.AdaptiveMatrix(matrix(width), tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(wspaces, wrep); !bytes.Equal(got, want) {
+			t.Errorf("matrix differs at width %d\n got:\n%s\nwant:\n%s", width, got, want)
+		}
+	}
+}

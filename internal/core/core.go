@@ -22,6 +22,7 @@ import (
 	"varsim/internal/journal"
 	"varsim/internal/machine"
 	"varsim/internal/rng"
+	"varsim/internal/sampling"
 	"varsim/internal/stats"
 	"varsim/internal/workloads"
 )
@@ -159,6 +160,13 @@ type Experiment struct {
 	// the space. Serialized with the spec so a -resume replays the same
 	// cadence it journaled.
 	DigestIntervalNS int64 `json:"digest_interval_ns,omitempty"`
+	// Adaptive, when non-nil, switches the experiment to the adaptive
+	// sampling scheduler (AdaptiveSpace): Runs becomes the fixed-N
+	// baseline the runs-saved accounting compares against, and the
+	// target's stopping rule decides the actual spend. Serialized with
+	// the spec so a -resume replays the same stopping rule — and the
+	// same journaled decisions — the interrupted run used.
+	Adaptive *sampling.Target `json:"adaptive,omitempty"`
 	// Resilience carries the crash-safety plumbing (journal, resume
 	// cache, retry/timeout budget, drain signal); the zero value means
 	// plain in-memory execution. Excluded from JSON so experiment spec
@@ -254,6 +262,10 @@ func (e Experiment) Prepare() (*machine.Machine, error) {
 // is skipped, which is what makes resuming a finished experiment
 // nearly free.
 func (e Experiment) RunSpace() (Space, error) {
+	if e.Adaptive != nil {
+		sp, _, err := e.AdaptiveSpace(*e.Adaptive)
+		return sp, err
+	}
 	if sp, ok := e.CachedSpace(); ok {
 		return sp, nil
 	}
@@ -291,7 +303,11 @@ func (e Experiment) RunKey(i int) journal.Key {
 // undecodable record — the caller then takes the normal prepare-and-run
 // path, where per-run cache hits still apply.
 func (e Experiment) CachedSpace() (Space, bool) {
-	if e.Resilience.Cache == nil || e.Runs <= 0 || e.Validate() != nil {
+	// An adaptive experiment must never take the fixed-N whole-space
+	// replay: the scheduler may stop short of (or past) Runs, and a
+	// CachedSpace replay racing an adaptive resume would feed the
+	// precision observer the overlap twice.
+	if e.Resilience.Cache == nil || e.Runs <= 0 || e.Adaptive != nil || e.Validate() != nil {
 		return Space{}, false
 	}
 	cfgHash := journal.ConfigHash(e.Config)
@@ -353,6 +369,48 @@ func BranchSpaceRes(checkpoint *machine.Machine, label string, n int, measureTxn
 		return sp, nil
 	}
 	cfgHash := journal.ConfigHash(checkpoint.Config())
+	opts := branchOptions(label, cfgHash, seedBase, workers, res)
+	// Freeze before the fleet starts: fleet jobs snapshot the checkpoint
+	// concurrently, and Snapshot on a frozen machine performs no writes.
+	checkpoint.Freeze()
+	results, err := fleet.Run(opts, n, func(i int) (machine.Result, error) {
+		m := checkpoint.Snapshot()
+		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
+		return m.Run(measureTxns)
+	})
+	if err != nil {
+		var inc *fleet.Incomplete
+		if errors.As(err, &inc) {
+			miss := make(map[int]bool, len(inc.Missing))
+			for _, i := range inc.Missing {
+				miss[i] = true
+			}
+			for i, r := range results {
+				if !miss[i] {
+					sp.Values = append(sp.Values, r.CPT)
+					sp.Results = append(sp.Results, r)
+				}
+			}
+			sp.Missing = inc.Missing
+			return sp, err
+		}
+		return Space{}, runError(err)
+	}
+	sp.Results = results
+	sp.Values = make([]float64, n)
+	for i, res := range results {
+		sp.Values[i] = res.CPT
+	}
+	return sp, nil
+}
+
+// branchOptions wires a Resilience bundle into the fleet options every
+// space-branching path shares (BranchSpaceRes, BranchRound): journal
+// replay through Cached, observation and journal appends through
+// OnResult, all keyed by the run's global (label, config hash, derived
+// seed, index) identity — so a round-based schedule files runs under
+// exactly the keys the fixed-N path would.
+func branchOptions(label, cfgHash string, seedBase uint64, workers int, res Resilience) fleet.Options[machine.Result] {
 	opts := fleet.Options[machine.Result]{
 		Workers:  fleet.Width(workers),
 		Timeout:  res.JobTimeout,
@@ -406,38 +464,7 @@ func BranchSpaceRes(checkpoint *machine.Machine, label string, n int, measureTxn
 			res.Journal.Append(rec)
 		}
 	}
-	// Freeze before the fleet starts: fleet jobs snapshot the checkpoint
-	// concurrently, and Snapshot on a frozen machine performs no writes.
-	checkpoint.Freeze()
-	results, err := fleet.Run(opts, n, func(i int) (machine.Result, error) {
-		m := checkpoint.Snapshot()
-		m.SetPerturbSeed(rng.Derive(seedBase, 1+uint64(i)))
-		return m.Run(measureTxns)
-	})
-	if err != nil {
-		var inc *fleet.Incomplete
-		if errors.As(err, &inc) {
-			miss := make(map[int]bool, len(inc.Missing))
-			for _, i := range inc.Missing {
-				miss[i] = true
-			}
-			for i, r := range results {
-				if !miss[i] {
-					sp.Values = append(sp.Values, r.CPT)
-					sp.Results = append(sp.Results, r)
-				}
-			}
-			sp.Missing = inc.Missing
-			return sp, err
-		}
-		return Space{}, runError(err)
-	}
-	sp.Results = results
-	sp.Values = make([]float64, n)
-	for i, res := range results {
-		sp.Values[i] = res.CPT
-	}
-	return sp, nil
+	return opts
 }
 
 // runError rewrites a fleet job failure in the package's historical

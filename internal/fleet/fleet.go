@@ -181,6 +181,16 @@ type Options[T any] struct {
 	// in-flight attempts run to completion and are journaled, and Run
 	// returns *Incomplete listing the indices that never ran.
 	Stop <-chan struct{}
+	// IndexBase offsets every externally visible job index by a fixed
+	// base: job i of this Run call is presented as IndexBase+i to the
+	// job closure, Cached, OnResult, TestHook, JobError and
+	// Incomplete.Missing, while results still merge at local index i.
+	// Round-based schedulers (internal/sampling) use it to submit a
+	// space in index ranges [base, base+n) across successive Run calls
+	// so every run keeps its global (experiment, config hash, derived
+	// seed, run index) identity. Zero reproduces the historical
+	// zero-based indexing.
+	IndexBase int
 	// TestHook scripts faults into attempts; tests only.
 	TestHook TestHook
 }
@@ -238,8 +248,9 @@ func Run[T any](opts Options[T], n int, job func(int) (T, error)) ([]T, error) {
 	jobsTotal.Add(int64(n))
 	runOne := func(i int) {
 		ran[i] = true
+		gi := opts.IndexBase + i // the job's global (externally visible) index
 		if opts.Cached != nil {
-			if v, ok := opts.Cached(i); ok {
+			if v, ok := opts.Cached(gi); ok {
 				results[i] = v
 				jobsDone.Add(1)
 				return
@@ -250,17 +261,17 @@ func Run[T any](opts Options[T], n int, job func(int) (T, error)) ([]T, error) {
 		var attempts int
 		var err error
 		profile.Do(opts.Labels, func() {
-			v, attempts, err = runAttempts(&opts, i, job)
+			v, attempts, err = runAttempts(&opts, gi, job)
 		})
 		busyWorkers.Add(-1)
 		if opts.TestHook != nil {
-			opts.TestHook.AfterJob(i)
+			opts.TestHook.AfterJob(gi)
 		}
 		if opts.OnResult != nil {
-			opts.OnResult(i, attempts, v, err)
+			opts.OnResult(gi, attempts, v, err)
 		}
 		if err != nil {
-			errs[i] = &JobError{Index: i, Err: err}
+			errs[i] = &JobError{Index: gi, Err: err}
 		} else {
 			results[i] = v
 		}
@@ -296,7 +307,7 @@ func Run[T any](opts Options[T], n int, job func(int) (T, error)) ([]T, error) {
 	var missing []int
 	for i := range ran {
 		if !ran[i] {
-			missing = append(missing, i)
+			missing = append(missing, opts.IndexBase+i)
 		}
 	}
 	if missing != nil {

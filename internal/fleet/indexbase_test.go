@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestIndexBaseGlobalIdentity pins the round-submission contract:
+// with IndexBase set, job i is presented as the global index base+i to
+// the job closure, Cached and OnResult, while its result still merges
+// at local index i — so a round-based scheduler can submit a space in
+// index ranges across successive Run calls without renumbering runs.
+func TestIndexBaseGlobalIdentity(t *testing.T) {
+	const base, n = 10, 4
+	var mu sync.Mutex
+	jobSaw := map[int]bool{}
+	cachedSaw := map[int]bool{}
+	onResultSaw := map[int]bool{}
+	opts := Options[int]{
+		Workers:   2,
+		IndexBase: base,
+		Cached: func(gi int) (int, bool) {
+			mu.Lock()
+			cachedSaw[gi] = true
+			mu.Unlock()
+			if gi == base+1 { // one cache hit, keyed globally
+				return 1000 + gi, true
+			}
+			return 0, false
+		},
+		OnResult: func(gi, attempts int, v int, err error) {
+			mu.Lock()
+			onResultSaw[gi] = true
+			mu.Unlock()
+		},
+	}
+	results, err := Run(opts, n, func(gi int) (int, error) {
+		mu.Lock()
+		jobSaw[gi] = true
+		mu.Unlock()
+		return 100 + gi, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{110, 1011, 112, 113} // local merge order, global values
+	for i, v := range results {
+		if v != want[i] {
+			t.Errorf("results[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+	for gi := base; gi < base+n; gi++ {
+		if !cachedSaw[gi] {
+			t.Errorf("Cached never consulted for global index %d", gi)
+		}
+		if gi == base+1 {
+			continue // the cache hit: no job, no OnResult
+		}
+		if !jobSaw[gi] {
+			t.Errorf("job never ran for global index %d", gi)
+		}
+		if !onResultSaw[gi] {
+			t.Errorf("OnResult never fired for global index %d", gi)
+		}
+	}
+	if jobSaw[base+1] || onResultSaw[base+1] {
+		t.Error("cache hit reached the job or OnResult")
+	}
+	for gi := 0; gi < n; gi++ {
+		if jobSaw[gi] {
+			t.Errorf("job saw local index %d: IndexBase not applied", gi)
+		}
+	}
+}
+
+// TestIndexBaseErrorAndDrain pins the remaining global surfaces:
+// JobError.Index and Incomplete.Missing both report base-offset
+// indices.
+func TestIndexBaseErrorAndDrain(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(Options[int]{Workers: 1, IndexBase: 20}, 3, func(gi int) (int, error) {
+		if gi == 21 {
+			return 0, boom
+		}
+		return gi, nil
+	})
+	var je *JobError
+	if !errors.As(err, &je) || je.Index != 21 {
+		t.Fatalf("err = %v, want *JobError at global index 21", err)
+	}
+
+	stop := make(chan struct{})
+	close(stop) // drained before the first job: everything is missing
+	_, err = Run(Options[int]{Workers: 1, IndexBase: 20, Stop: stop}, 3, func(gi int) (int, error) {
+		return gi, nil
+	})
+	var inc *Incomplete
+	if !errors.As(err, &inc) {
+		t.Fatalf("err = %v, want *Incomplete", err)
+	}
+	sort.Ints(inc.Missing)
+	for i, want := range []int{20, 21, 22} {
+		if inc.Missing[i] != want {
+			t.Errorf("Missing[%d] = %d, want %d", i, inc.Missing[i], want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"varsim/internal/fleet"
 	"varsim/internal/report"
 	"varsim/internal/rng"
+	"varsim/internal/sampling"
 )
 
 // Options configures a harness run.
@@ -49,6 +50,11 @@ type Options struct {
 	// the harness builds and into its per-configuration fleets. Zero
 	// value = plain execution. See docs/RESILIENCE.md.
 	Resilience core.Resilience
+	// Adaptive, when non-nil, overrides the stopping/pruning target the
+	// sampling experiment uses (nil selects the paper's worked-example
+	// target, ±4% at 95% confidence, capped at the fixed-N baseline so
+	// runs-saved is directly comparable). See docs/SAMPLING.md.
+	Adaptive *sampling.Target
 }
 
 // Progress is one experiment lifecycle notification.
@@ -119,6 +125,7 @@ var allExperiments = []Experiment{
 	{"ablations", "Extensions: perturbation site, MESI vs MOSI, snoop occupancy, checkpoint sampling, normality", (*H).Ablations},
 	{"divergence", "Extension: divergence observatory — when perturbed runs fork and which subsystem forks first", (*H).DivergenceStudy},
 	{"characterize", "Workload characterization: memory, sharing, OS and lock behaviour per benchmark", (*H).Characterize},
+	{"sampling", "Extension: adaptive sampling — early stopping, mid-matrix pruning and stratified replication vs fixed-N", (*H).SamplingStudy},
 }
 
 // experimentIndex maps experiment names to their entries for Find.

@@ -12,8 +12,8 @@ func quickH(buf *bytes.Buffer) *H {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -167,4 +167,10 @@ func TestAblations(t *testing.T) {
 
 func TestCharacterize(t *testing.T) {
 	runQuick(t, "characterize", "workload", "instr/txn", "slashcode", "barnes")
+}
+
+func TestSamplingStudy(t *testing.T) {
+	runQuick(t, "sampling",
+		"adaptive sampling", "Table 3 benchmarks", "associativity matrix",
+		"stratified time sampling", "runs saved")
 }

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"varsim/internal/checkpoint"
+	"varsim/internal/core"
+	"varsim/internal/fleet"
+	"varsim/internal/report"
+	"varsim/internal/sampling"
+	"varsim/internal/workloads"
+)
+
+// adaptiveTarget resolves the stopping rule the sampling experiment
+// uses: the caller's override when one is set, else the paper's
+// worked-example target with MaxRuns pinned to the fixed-N baseline so
+// the adaptive schedule can never spend more than the methodology it
+// replaces and the runs-saved comparison stays apples-to-apples.
+func (h *H) adaptiveTarget() sampling.Target {
+	if h.opt.Adaptive != nil {
+		return h.opt.Adaptive.Normalize()
+	}
+	t := sampling.Target{MaxRuns: h.runs()}
+	return t.Normalize()
+}
+
+// SamplingStudy is the adaptive-sampling extension: the same three
+// study shapes the paper runs fixed-N, re-run under the adaptive
+// scheduler (docs/SAMPLING.md), each reporting achieved-vs-requested
+// precision and the runs saved against the fixed-N baseline.
+//
+//  1. The Table 3 benchmark matrix with per-benchmark early stopping
+//     (cross-workload pruning is meaningless — the benchmarks are not
+//     competing configurations, so each arm stops on its own CI).
+//  2. The Table 1 L2-associativity matrix under a shared budget, where
+//     an arm whose confidence interval separates from the best
+//     configuration's is pruned mid-matrix.
+//  3. An OLTP time-sampling study where replication is stratified
+//     across starting checkpoints (Neyman allocation per stratum).
+//
+// Every executed run keeps its fixed-N identity, so a result journal
+// written by table1/table3 replays into this experiment for free.
+func (h *H) SamplingStudy() error {
+	t := h.adaptiveTarget()
+	fmt.Fprintf(h.opt.Out, "stopping rule: ±%.3g%% at %.3g%% confidence, pilot %d, cap %d runs/config\n",
+		100*t.RelErr, 100*t.Confidence, t.MinRuns, t.MaxRuns)
+
+	// Study 1: Table 3 benchmarks, independent early stopping.
+	type bench struct {
+		name   string
+		warmup int64
+	}
+	benches := []bench{
+		{"barnes", 0}, {"ocean", 0}, {"ecperf", 3}, {"slashcode", 10},
+		{"oltp", 500}, {"apache", 500}, {"specjbb", 500},
+	}
+	arms, err := fleet.Map(fleet.Width(h.opt.Workers), len(benches), func(i int) (sampling.Arm, error) {
+		b := benches[i]
+		e := h.experiment(b.name, h.baseConfig(), b.name, b.warmup, workloads.DefaultTxns(b.name), 0x33)
+		if b.name == "barnes" || b.name == "ocean" {
+			e.MeasureTxns = 1 // whole program, never scaled
+			e.WarmupTxns = 0
+		}
+		_, arm, err := e.AdaptiveSpace(t)
+		return arm, err
+	})
+	if err != nil {
+		var je *fleet.JobError
+		if errors.As(err, &je) {
+			return fmt.Errorf("%s: %w", benches[je.Index].name, je.Err)
+		}
+		return err
+	}
+	table3 := sampling.Report{Target: t, Arms: arms}
+	table3.Finalize()
+	fmt.Fprintln(h.opt.Out, "\n-- Table 3 benchmarks, adaptive early stopping --")
+	h.samplingTable(table3)
+
+	// Study 2: the L2-associativity matrix under a shared budget, with
+	// mid-matrix pruning. Experiments are built exactly as assocSpaces
+	// builds them, so the arms replay table1's journal.
+	var es []core.Experiment
+	for _, assoc := range []int{1, 2, 4} {
+		cfg := h.baseConfig()
+		cfg.L2.Assoc = assoc
+		es = append(es, h.experiment(fmt.Sprintf("%d-way", assoc), cfg, "oltp", 500, 200, 0x11+uint64(assoc)))
+	}
+	_, matrix, err := core.AdaptiveMatrix(es, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(h.opt.Out, "\n-- L2 associativity matrix, shared budget + pruning --")
+	h.samplingTable(matrix)
+
+	// Study 3: stratified replication across OLTP starting checkpoints.
+	var cks []int64
+	for i := int64(1); i <= 4; i++ {
+		cks = append(cks, h.scaleTxns(i*1000))
+	}
+	e := h.experiment("oltp", h.baseConfig(), "oltp", 0, h.scaleTxns(200), 0x9A)
+	_, stratArm, err := checkpoint.AdaptiveTimeSample(checkpoint.NewBaseCache(), e, cks, t)
+	if err != nil {
+		return err
+	}
+	strat := sampling.Report{Target: t, Arms: []sampling.Arm{stratArm}}
+	strat.Finalize()
+	fmt.Fprintf(h.opt.Out, "\n-- OLTP stratified time sampling, %d checkpoints --\n", len(cks))
+	h.samplingTable(strat)
+
+	saved := table3.FixedN + matrix.FixedN + strat.FixedN - table3.Executed - matrix.Executed - strat.Executed
+	fmt.Fprintf(h.opt.Out, "\nacross all three studies: %d runs saved vs fixed-N\n", saved)
+	return nil
+}
+
+// samplingTable renders one study's report both as the WriteSampling
+// block and as a captured harness table for CSV/JSON export.
+func (h *H) samplingTable(rep sampling.Report) {
+	report.WriteSampling(h.opt.Out, rep)
+	rows := [][]string{}
+	for _, a := range rep.Arms {
+		achieved := "-"
+		if a.RelPct > 0 {
+			achieved = fmt.Sprintf("%.2f%%", a.RelPct)
+		}
+		rows = append(rows, []string{
+			a.Experiment,
+			fmt.Sprintf("%d", a.Executed),
+			fmt.Sprintf("%d", a.FixedN),
+			fmt.Sprintf("%d", a.Rounds),
+			achieved,
+			a.Status,
+		})
+	}
+	h.table("arm\truns\tfixed-N\trounds\tachieved\tstatus", rows)
+}

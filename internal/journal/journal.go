@@ -46,6 +46,13 @@ const (
 	// attribution works post-hoc from the journal and replays across
 	// -resume without re-simulating.
 	StatusDigest = "digest"
+	// StatusDecision is an adaptive-sampling barrier decision (Result
+	// holds a sampling.Decision as JSON). Decision records are keyed by
+	// (experiment, config hash, seed base, round index) — NOT a run's
+	// derived seed — so a -resume replays the exact stop/prune choices
+	// the interrupted run took instead of re-deriving them from a
+	// partially journaled round.
+	StatusDecision = "decision"
 )
 
 // Key identifies one journaled job. Two invocations that agree on all
@@ -76,7 +83,7 @@ type Record struct {
 // Validate checks the structural invariants the codec enforces.
 func (r Record) Validate() error {
 	switch r.Status {
-	case StatusOK, StatusDigest:
+	case StatusOK, StatusDigest, StatusDecision:
 		if len(r.Result) == 0 || !json.Valid(r.Result) {
 			return fmt.Errorf("journal: %s record needs a valid JSON result", r.Status)
 		}
@@ -382,20 +389,28 @@ type Cache struct {
 	// run's Key, so folding them into byKey would clobber the run
 	// record (or be clobbered by it) depending on append order.
 	digests map[Key]Record
+	// decisions holds StatusDecision records separately for the same
+	// reason: a decision's key (seed base, round index) can collide
+	// with a run key, and neither may shadow the other on resume.
+	decisions map[Key]Record
 }
 
 // NewCache builds a cache over recs (normally LoadResult.Records).
 func NewCache(recs []Record) *Cache {
 	c := &Cache{
-		byKey:   make(map[Key]Record, len(recs)),
-		digests: make(map[Key]Record),
+		byKey:     make(map[Key]Record, len(recs)),
+		digests:   make(map[Key]Record),
+		decisions: make(map[Key]Record),
 	}
 	for _, r := range recs {
-		if r.Status == StatusDigest {
+		switch r.Status {
+		case StatusDigest:
 			c.digests[r.Key] = r
-			continue
+		case StatusDecision:
+			c.decisions[r.Key] = r
+		default:
+			c.byKey[r.Key] = r
 		}
-		c.byKey[r.Key] = r
 	}
 	return c
 }
@@ -408,6 +423,32 @@ func (c *Cache) Get(key Key) (Record, bool) {
 	}
 	r, ok := c.byKey[key]
 	if !ok || r.Status != StatusOK {
+		return Record{}, false
+	}
+	cacheHits.Add(1)
+	return r, true
+}
+
+// Has reports whether key would hit — an ok record exists — without
+// counting a cache hit or touching the record. Round schedulers peek
+// with it to decide whether a round is fully replayable (and a
+// checkpoint build can be skipped) before actually replaying. Nil-safe.
+func (c *Cache) Has(key Key) bool {
+	if c == nil {
+		return false
+	}
+	r, ok := c.byKey[key]
+	return ok && r.Status == StatusOK
+}
+
+// Decision returns the journaled barrier decision for key, counting a
+// process-wide cache hit. Nil-safe.
+func (c *Cache) Decision(key Key) (Record, bool) {
+	if c == nil {
+		return Record{}, false
+	}
+	r, ok := c.decisions[key]
+	if !ok {
 		return Record{}, false
 	}
 	cacheHits.Add(1)
@@ -444,6 +485,14 @@ func (c *Cache) DigestLen() int {
 		return 0
 	}
 	return len(c.digests)
+}
+
+// DecisionLen returns the number of decision records cached.
+func (c *Cache) DecisionLen() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.decisions)
 }
 
 // OpenDir is the resume entry point: recover the journal in dir

@@ -19,6 +19,8 @@ func TestDetwall(t *testing.T) {
 		"varsim/internal/faultinject/faultok",
 		"varsim/internal/digest/digestwall",
 		"varsim/internal/precision/precisionok",
+		"varsim/internal/sampling/samplingok",
+		"varsim/internal/core/adaptivewall",
 	)
 }
 
@@ -35,6 +37,7 @@ func TestInsideWall(t *testing.T) {
 		"varsim/internal/journal":      false, // durable I/O records results, it never feeds them
 		"varsim/internal/faultinject":  false, // test-only fault hooks race the host on purpose
 		"varsim/internal/precision":    false, // pure observer of fleet completions, feeds nothing back
+		"varsim/internal/sampling":     false, // pure barrier decisions + observe-only counters, a blessed contract
 		"varsim/internal/memx":         false, // prefix must match a path segment
 		"varsim/internal/lint/detwall": false,
 	} {

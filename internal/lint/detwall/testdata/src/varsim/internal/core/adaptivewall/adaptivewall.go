@@ -1,0 +1,28 @@
+// Package adaptivewall is a detwall fixture pinning the adaptive
+// scheduler's determinism contract from the wall side: core's drivers
+// are inside the wall, so a stopping rule that consults the host clock
+// — "stop this configuration when the round has run long enough" —
+// must be reported. Stopping decisions may depend only on the merged
+// values of a completed round; wall-clock-driven stopping would make
+// the *set of executed runs* a function of host load
+// (docs/SAMPLING.md).
+package adaptivewall
+
+import "time"
+
+// stopDeadline mimics a wall-clock budget for an adaptive round.
+var stopDeadline time.Time
+
+// ShouldStop must be flagged: the decision reads the host clock.
+func ShouldStop(values []float64, minRuns int) bool {
+	if len(values) < minRuns {
+		return false
+	}
+	return time.Now().After(stopDeadline) // want `wall-clock call time\.Now inside the determinism wall`
+}
+
+// RoundBudgetExceeded must be flagged too: measuring a round's elapsed
+// host time is the same leak through a different helper.
+func RoundBudgetExceeded(start time.Time, budget time.Duration) bool {
+	return time.Since(start) > budget // want `wall-clock call time\.Since inside the determinism wall`
+}

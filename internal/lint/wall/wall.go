@@ -53,6 +53,10 @@ var prefixes = []string{
 //   - profile: pprof labels never touch job inputs or the merge.
 //   - precision: a pure observer fed from completion hooks; it feeds
 //     nothing back into the simulation.
+//   - sampling: barrier decisions are pure functions of the
+//     index-ordered merged values of a completed round; the package's
+//     live counters and published report are observe-only surfaces,
+//     never inputs to a decision (docs/SAMPLING.md).
 //   - faultinject: test-only scripted faults behind fleet.TestHook.
 var contractPrefixes = []string{
 	"varsim/internal/fleet",
@@ -62,6 +66,7 @@ var contractPrefixes = []string{
 	"varsim/internal/plot",
 	"varsim/internal/profile",
 	"varsim/internal/precision",
+	"varsim/internal/sampling",
 	"varsim/internal/faultinject",
 }
 

@@ -29,6 +29,7 @@ func TestContract(t *testing.T) {
 	}{
 		{"varsim/internal/fleet", true},
 		{"varsim/internal/journal", true},
+		{"varsim/internal/sampling", true},
 		{"varsim/internal/obs", false},
 		{"varsim/internal/core", false},
 		{"time", false},

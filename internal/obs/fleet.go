@@ -7,6 +7,7 @@ import (
 
 	"varsim/internal/fleet"
 	"varsim/internal/journal"
+	"varsim/internal/sampling"
 )
 
 // Experiment states reported by /status.
@@ -24,9 +25,10 @@ const (
 type Fleet struct {
 	mu        sync.Mutex
 	start     time.Time
-	simCycles func() int64         // process-wide counter; nil disables throughput
-	jobs      func() fleet.Stats   // worker-pool occupancy; nil disables
-	journal   func() journal.Stats // result-journal counters; nil disables
+	simCycles func() int64          // process-wide counter; nil disables throughput
+	jobs      func() fleet.Stats    // worker-pool occupancy; nil disables
+	journal   func() journal.Stats  // result-journal counters; nil disables
+	sampling  func() sampling.Stats // adaptive-scheduler counters; nil disables
 	simStart  int64
 	order     []string
 	byName    map[string]*fleetEntry
@@ -95,6 +97,19 @@ func (f *Fleet) TrackJournal(fn func() journal.Stats) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.journal = fn
+}
+
+// TrackSampling wires a reader of the adaptive-scheduler counters
+// (normally sampling.Read), adding barrier-round, executed-run and
+// runs-saved fields to /status and the heartbeat line. Safe on a nil
+// receiver.
+func (f *Fleet) TrackSampling(fn func() sampling.Stats) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sampling = fn
 }
 
 // Start marks the named experiment running (registering it if
@@ -182,10 +197,18 @@ type FleetStatus struct {
 	// Result-journal counters (zero unless TrackJournal is wired):
 	// records durably appended, appends started but not yet fsync'd
 	// (the journal lag), and cache replays served on resume.
-	JournalAppended int64              `json:"journal_appended,omitempty"`
-	JournalLag      int64              `json:"journal_lag,omitempty"`
-	JournalReplayed int64              `json:"journal_replayed,omitempty"`
-	Experiments     []ExperimentStatus `json:"experiments"`
+	JournalAppended int64 `json:"journal_appended,omitempty"`
+	JournalLag      int64 `json:"journal_lag,omitempty"`
+	JournalReplayed int64 `json:"journal_replayed,omitempty"`
+	// Adaptive-scheduler counters (zero unless TrackSampling is wired):
+	// barrier rounds decided, runs actually executed under adaptive
+	// schedules, runs saved against the fixed-N baseline, and
+	// configurations pruned mid-matrix. See docs/SAMPLING.md.
+	SamplingRounds   int64              `json:"sampling_rounds,omitempty"`
+	SamplingExecuted int64              `json:"sampling_executed,omitempty"`
+	SamplingSaved    int64              `json:"sampling_saved,omitempty"`
+	SamplingPruned   int64              `json:"sampling_pruned,omitempty"`
+	Experiments      []ExperimentStatus `json:"experiments"`
 }
 
 // Status snapshots the fleet.
@@ -248,6 +271,13 @@ func (f *Fleet) Status() FleetStatus {
 		st.JournalLag = j.Lag
 		st.JournalReplayed = j.Hits
 	}
+	if f.sampling != nil {
+		ss := f.sampling()
+		st.SamplingRounds = ss.Rounds
+		st.SamplingExecuted = ss.Executed
+		st.SamplingSaved = ss.Saved
+		st.SamplingPruned = ss.Pruned
+	}
 	st.ETASecs = etaSecs(f.finished, st.Done, st.Total)
 	return st
 }
@@ -306,6 +336,12 @@ func (s FleetStatus) Line() string {
 		}
 		if s.JournalReplayed > 0 {
 			out += fmt.Sprintf(", %d replayed", s.JournalReplayed)
+		}
+	}
+	if s.SamplingRounds > 0 {
+		out += fmt.Sprintf(", adaptive %d rounds %d saved", s.SamplingRounds, s.SamplingSaved)
+		if s.SamplingPruned > 0 {
+			out += fmt.Sprintf(" (%d pruned)", s.SamplingPruned)
 		}
 	}
 	if s.ETASecs > 0 {

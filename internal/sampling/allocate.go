@@ -1,0 +1,91 @@
+package sampling
+
+import (
+	"math"
+
+	"varsim/internal/stats"
+)
+
+// NeymanAllocate splits total runs across arms (or strata)
+// proportionally to their standard deviations — Neyman allocation with
+// equal stratum weights and costs, which minimizes the variance of the
+// combined estimator for a fixed total. Apportionment is
+// largest-remainder with ties broken by lower index, so the split is a
+// pure function of (sds, total). Non-finite or negative deviations
+// count as zero; when every deviation is zero (or the slice is empty)
+// the split degenerates to an even one.
+func NeymanAllocate(sds []float64, total int) []int {
+	if len(sds) == 0 || total <= 0 {
+		return make([]int, len(sds))
+	}
+	weights := make([]float64, len(sds))
+	var sum float64
+	for i, sd := range sds {
+		if sd > 0 && !math.IsInf(sd, 0) && !math.IsNaN(sd) {
+			weights[i] = sd
+			sum += sd
+		}
+	}
+	if sum == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+		sum = float64(len(weights))
+	}
+	out := make([]int, len(sds))
+	rem := make([]float64, len(sds))
+	assigned := 0
+	for i, w := range weights {
+		share := float64(total) * w / sum
+		out[i] = int(share)
+		rem[i] = share - float64(out[i])
+		assigned += out[i]
+	}
+	for assigned < total {
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		out[best]++
+		rem[best] = -1 // each index gains at most one remainder run
+		assigned++
+	}
+	return out
+}
+
+// Prune ranks a matrix's arms by sample mean and flags every arm whose
+// confidence interval has already separated from the best (lowest
+// mean) arm's: its CI lower bound lies above the best's CI upper
+// bound, so at the configured confidence it cannot be the winner and
+// spending more budget on it buys nothing. The best arm is never
+// pruned; arms whose sample cannot support an interval yet are never
+// pruned either (they still need pilot runs, not a verdict). Pure in
+// (samples, confidence).
+func Prune(samples [][]float64, confidence float64) []bool {
+	pruned := make([]bool, len(samples))
+	cis := make([]stats.ConfidenceInterval, len(samples))
+	valid := make([]bool, len(samples))
+	best := -1
+	for i, xs := range samples {
+		ci, err := stats.CI(xs, confidence)
+		if err != nil {
+			continue
+		}
+		cis[i], valid[i] = ci, true
+		if best < 0 || ci.Mean < cis[best].Mean {
+			best = i
+		}
+	}
+	if best < 0 {
+		return pruned
+	}
+	for i := range samples {
+		if i == best || !valid[i] {
+			continue
+		}
+		pruned[i] = cis[i].Lo > cis[best].Hi
+	}
+	return pruned
+}

@@ -1,0 +1,52 @@
+package sampling
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"varsim/internal/journal"
+)
+
+// DecisionKey is the journal identity of barrier decision `round` of
+// one arm. Unlike a run key — whose Seed is the run's *derived*
+// perturbation seed — a decision key carries the experiment's seed
+// base and the round number, so decisions can never collide with run
+// records and a resume only replays decisions taken under the exact
+// same seed schedule.
+func DecisionKey(experiment, configHash string, seedBase uint64, round int) journal.Key {
+	return journal.Key{
+		Experiment: experiment,
+		ConfigHash: configHash,
+		Seed:       seedBase,
+		Index:      round,
+	}
+}
+
+// EncodeDecision renders a barrier decision as its journal record.
+func EncodeDecision(key journal.Key, d Decision) (journal.Record, error) {
+	if err := d.Validate(); err != nil {
+		return journal.Record{}, err
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return journal.Record{}, fmt.Errorf("sampling: encode decision: %w", err)
+	}
+	return journal.Record{Key: key, Status: journal.StatusDecision, Result: raw}, nil
+}
+
+// DecodeDecision parses a journal decision record back into the
+// Decision the driver journaled, re-validating the invariants
+// EncodeDecision enforced. It never panics, whatever the record holds.
+func DecodeDecision(rec journal.Record) (Decision, error) {
+	if rec.Status != journal.StatusDecision {
+		return Decision{}, fmt.Errorf("sampling: record status %q is not a decision", rec.Status)
+	}
+	var d Decision
+	if err := json.Unmarshal(rec.Result, &d); err != nil {
+		return Decision{}, fmt.Errorf("sampling: decode decision: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return Decision{}, err
+	}
+	return d, nil
+}

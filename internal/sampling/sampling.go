@@ -1,0 +1,234 @@
+// Package sampling is the adaptive run scheduler: it decides, at
+// deterministic round barriers, how many more perturbed runs each
+// configuration needs — stopping early once the confidence interval
+// meets the requested relative error (§5.1.1), allocating a shared
+// budget across strata or configurations Neyman-style, and pruning
+// configurations whose interval has already separated from the best.
+//
+// The package deliberately contains no execution machinery: Decide,
+// StratifiedDecide, NeymanAllocate and Prune are pure functions of the
+// index-ordered merged values a round produced, so the same inputs
+// yield the same decision at any fleet width. The drivers
+// (core.Experiment.AdaptiveSpace, core.AdaptiveMatrix,
+// checkpoint.AdaptiveTimeSample) call them only at barriers — after a
+// round's fleet call returns its index-ordered merge — and journal
+// every decision (journal.StatusDecision), so a -resume replays the
+// interrupted run's exact stop/prune choices instead of re-deriving
+// them from a partially journaled round.
+//
+// The determinism contract (docs/SAMPLING.md): the *set* of runs
+// executed depends only on the decision sequence, never on completion
+// order; every executed run keeps the same (experiment, config hash,
+// derived seed, run index) key it would have under fixed-N; and the
+// report records achieved-vs-requested precision plus runs saved.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"varsim/internal/stats"
+)
+
+// Defaults for a zero Target, matching the precision observatory's
+// worked-example target (4% relative error at 95% confidence).
+const (
+	DefaultRelErr     = 0.04
+	DefaultConfidence = 0.95
+	DefaultMinRuns    = 4
+	DefaultMaxRuns    = 64
+	DefaultRoundSize  = 4
+)
+
+// Target is the requested precision and run budget for an adaptive
+// experiment. The zero value selects the package defaults; Targets
+// serialize into experiment spec files so a -resume pins the exact
+// stopping rule the interrupted run used.
+type Target struct {
+	// RelErr is the tolerated relative error of the mean (fraction,
+	// e.g. 0.04 for ±4%), the paper's r.
+	RelErr float64 `json:"rel_err"`
+	// Confidence is the CI confidence level, e.g. 0.95.
+	Confidence float64 `json:"confidence"`
+	// MinRuns is the pilot size: no stop decision is taken before this
+	// many runs, however tight the sample looks (a two-run CI is not
+	// evidence). At least 2 — a CI needs two observations.
+	MinRuns int `json:"min_runs"`
+	// MaxRuns is the hard per-configuration budget: once reached the
+	// arm settles with ActionBudget whether or not it converged.
+	MaxRuns int `json:"max_runs"`
+	// RoundSize caps how many runs one barrier round may add, so a
+	// noisy pilot cannot commit the whole budget in one step.
+	RoundSize int `json:"round_size"`
+	// Budget, when positive, is the *total* run budget a matrix or
+	// stratified driver shares across its arms/strata; 0 lets each arm
+	// spend up to MaxRuns independently.
+	Budget int `json:"budget,omitempty"`
+}
+
+// Normalize fills zero fields with the package defaults and clamps the
+// rest into a usable range.
+func (t Target) Normalize() Target {
+	if t.RelErr <= 0 {
+		t.RelErr = DefaultRelErr
+	}
+	if t.Confidence <= 0 || t.Confidence >= 1 {
+		t.Confidence = DefaultConfidence
+	}
+	if t.MinRuns <= 0 {
+		t.MinRuns = DefaultMinRuns
+	}
+	if t.MinRuns < 2 {
+		t.MinRuns = 2
+	}
+	if t.MaxRuns <= 0 {
+		t.MaxRuns = DefaultMaxRuns
+	}
+	if t.MaxRuns < t.MinRuns {
+		t.MaxRuns = t.MinRuns
+	}
+	if t.RoundSize <= 0 {
+		t.RoundSize = DefaultRoundSize
+	}
+	return t
+}
+
+// Action is what a barrier decision tells the driver to do with an arm.
+type Action string
+
+const (
+	// ActionContinue schedules Decision.Next more runs.
+	ActionContinue Action = "continue"
+	// ActionStop settles the arm: the requested precision is achieved.
+	ActionStop Action = "stop"
+	// ActionBudget settles the arm at its run budget, converged or not.
+	ActionBudget Action = "budget"
+	// ActionPrune settles a matrix arm whose confidence interval has
+	// separated from the best arm's — it cannot win the comparison.
+	ActionPrune Action = "prune"
+)
+
+// Decision is one barrier's verdict for one arm — the unit the journal
+// records (journal.StatusDecision) and a -resume replays byte-for-byte.
+type Decision struct {
+	// Round is the barrier index (0 = after the pilot round).
+	Round int `json:"round"`
+	// N is the sample size the decision was taken over.
+	N int `json:"n"`
+	// Action is the verdict.
+	Action Action `json:"action"`
+	// RelPct is the achieved precision at the barrier: the CI
+	// half-width as a percentage of the mean. 0 when the sample cannot
+	// support an interval yet.
+	RelPct float64 `json:"rel_pct,omitempty"`
+	// Needed is the §5.1.1 t-consistent total sample size implied by
+	// the CoV at the barrier (stats.SampleSizeRelErrT); 0 when the
+	// sample cannot support the estimate.
+	Needed int `json:"needed,omitempty"`
+	// Next is the size of the next round (ActionContinue only).
+	Next int `json:"next,omitempty"`
+	// Alloc, for stratified decisions, splits Next across strata
+	// (Neyman allocation); entries sum to Next.
+	Alloc []int `json:"alloc,omitempty"`
+}
+
+// Validate checks the structural invariants the decision codec
+// enforces: the journal must never carry a decision the drivers could
+// not have produced.
+func (d Decision) Validate() error {
+	switch d.Action {
+	case ActionContinue:
+		if d.Next < 1 {
+			return errors.New("sampling: continue decision needs a positive next round")
+		}
+	case ActionStop, ActionBudget, ActionPrune:
+		if d.Next != 0 {
+			return fmt.Errorf("sampling: %s decision cannot schedule more runs", d.Action)
+		}
+	default:
+		return fmt.Errorf("sampling: unknown decision action %q", d.Action)
+	}
+	if d.Round < 0 {
+		return errors.New("sampling: negative round")
+	}
+	if d.N < 0 {
+		return errors.New("sampling: negative sample size")
+	}
+	if d.Needed < 0 {
+		return errors.New("sampling: negative needed estimate")
+	}
+	if math.IsNaN(d.RelPct) || math.IsInf(d.RelPct, 0) || d.RelPct < 0 {
+		return errors.New("sampling: rel_pct must be finite and non-negative")
+	}
+	if len(d.Alloc) > 0 {
+		sum := 0
+		for _, a := range d.Alloc {
+			if a < 0 {
+				return errors.New("sampling: negative stratum allocation")
+			}
+			sum += a
+		}
+		if sum != d.Next {
+			return fmt.Errorf("sampling: allocation sums to %d, next round is %d", sum, d.Next)
+		}
+	}
+	return nil
+}
+
+// Decide is the stopping rule, evaluated at a round barrier over the
+// arm's index-ordered values so far. It stops once the sample is both
+// past the pilot floor (MinRuns) and converged — the achieved relative
+// half-width meets RelErr at the target confidence, which by the
+// t-quantile fixed point is exactly when N has reached the
+// SampleSizeRelErrT estimate — and settles with ActionBudget at
+// MaxRuns otherwise. A continuing arm gets a next round sized toward
+// the Needed estimate, capped by RoundSize and the remaining budget.
+//
+// Pure: the decision depends only on (values, round, t), never on
+// completion order or the clock — the property tests pin this.
+func Decide(values []float64, round int, t Target) Decision {
+	t = t.Normalize()
+	d := Decision{Round: round, N: len(values), Action: ActionContinue}
+	var s stats.Stream
+	for _, v := range values {
+		// Non-finite values shrink the effective sample rather than
+		// poisoning the interval — the Stream's input contract.
+		s.Add(v) //nolint:errcheck
+	}
+	rel, relOK := s.RelHalfWidthPct(t.Confidence)
+	if relOK {
+		d.RelPct = rel
+	}
+	d.Needed = s.RunsNeeded(t.RelErr, t.Confidence)
+	converged := relOK && rel <= 100*t.RelErr
+	// The pilot floor counts *effective* observations: the Stream drops
+	// non-finite values, and a sample padded with them must not stop on
+	// an interval supported by fewer than MinRuns real runs.
+	switch {
+	case s.N() >= t.MinRuns && converged:
+		d.Action = ActionStop
+	case d.N >= t.MaxRuns:
+		d.Action = ActionBudget
+	default:
+		d.Next = nextChunk(d.N, d.Needed, t.RoundSize, t.MaxRuns)
+	}
+	return d
+}
+
+// nextChunk sizes a continuing arm's next round: toward the remaining
+// gap to the needed estimate, at least 1, at most cap runs per round,
+// and never past the budget.
+func nextChunk(n, needed, roundSize, maxRuns int) int {
+	want := roundSize
+	if needed > n && needed-n < want {
+		want = needed - n
+	}
+	if want < 1 {
+		want = 1
+	}
+	if rest := maxRuns - n; want > rest {
+		want = rest
+	}
+	return want
+}

@@ -1,0 +1,331 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"varsim/internal/stats"
+)
+
+// sample is the quick.Check input shape: a bounded, generator-friendly
+// stand-in for one arm's merged values.
+type sample struct {
+	Seed  uint64
+	N     uint8 // 0..255 values
+	Scale uint8 // spread of the values around the mean
+}
+
+func (s sample) values() []float64 {
+	r := rand.New(rand.NewSource(int64(s.Seed)))
+	n := int(s.N)
+	out := make([]float64, n)
+	spread := 0.001 + float64(s.Scale)/256.0 // CoV roughly 0.1%..100%
+	for i := range out {
+		out[i] = 1000 * (1 + spread*r.NormFloat64())
+	}
+	return out
+}
+
+// TestDecideNeverStopsEarly is the stopping-rule property (satellite
+// 1.1): whenever Decide stops, the sample is at least MinRuns and at
+// least the §5.1.1 t-consistent estimate computed from its own CoV —
+// the scheduler can never declare victory before the sample-size
+// formula is satisfied.
+func TestDecideNeverStopsEarly(t *testing.T) {
+	target := Target{RelErr: 0.04, Confidence: 0.95, MinRuns: 4, MaxRuns: 200, RoundSize: 8}
+	prop := func(s sample) bool {
+		values := s.values()
+		d := Decide(values, 0, target)
+		if d.Action != ActionStop {
+			return true
+		}
+		if d.N < target.MinRuns {
+			t.Logf("stopped at n=%d < MinRuns=%d", d.N, target.MinRuns)
+			return false
+		}
+		var st stats.Stream
+		for _, v := range values {
+			st.Add(v) //nolint:errcheck
+		}
+		cov := st.CoV() / 100
+		if need := stats.SampleSizeRelErrT(cov, target.RelErr, target.Confidence); need > d.N {
+			t.Logf("stopped at n=%d but the estimate needs %d (cov %.4f)", d.N, need, cov)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecidePure pins the purity contract: the decision is a function
+// of (values, round, target) alone, and re-deciding over the same
+// merged values gives a deeply equal decision.
+func TestDecidePure(t *testing.T) {
+	prop := func(s sample, round uint8) bool {
+		values := s.values()
+		a := Decide(values, int(round), Target{})
+		b := Decide(values, int(round), Target{})
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecideValidAndBudgeted: every decision Decide can emit passes the
+// codec's Validate, never schedules past MaxRuns, and settles with
+// ActionBudget at the cap.
+func TestDecideValidAndBudgeted(t *testing.T) {
+	target := Target{MinRuns: 4, MaxRuns: 12, RoundSize: 4}.Normalize()
+	prop := func(s sample) bool {
+		values := s.values()
+		d := Decide(values, 0, target)
+		if err := d.Validate(); err != nil {
+			t.Logf("invalid decision %+v: %v", d, err)
+			return false
+		}
+		if d.Action == ActionContinue && d.N+d.Next > target.MaxRuns {
+			t.Logf("scheduled past the budget: n=%d next=%d", d.N, d.Next)
+			return false
+		}
+		if d.N >= target.MaxRuns && d.Action == ActionContinue {
+			t.Logf("continued at the budget: n=%d", d.N)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideDegenerateSamples(t *testing.T) {
+	target := Target{MinRuns: 4, MaxRuns: 16}.Normalize()
+	if d := Decide(nil, 0, target); d.Action != ActionContinue || d.Next < 1 {
+		t.Errorf("empty sample: %+v", d)
+	}
+	// Identical values: zero variance, the interval is exact.
+	d := Decide([]float64{5, 5, 5, 5}, 0, target)
+	if d.Action != ActionStop {
+		t.Errorf("zero-variance sample should stop: %+v", d)
+	}
+	// Non-finite values shrink the sample instead of poisoning it.
+	d = Decide([]float64{math.NaN(), math.Inf(1), 5, 5}, 0, target)
+	if d.Action != ActionContinue {
+		t.Errorf("non-finite values must not count toward the pilot: %+v", d)
+	}
+}
+
+func TestTargetNormalize(t *testing.T) {
+	d := Target{}.Normalize()
+	if d.RelErr != DefaultRelErr || d.Confidence != DefaultConfidence ||
+		d.MinRuns != DefaultMinRuns || d.MaxRuns != DefaultMaxRuns || d.RoundSize != DefaultRoundSize {
+		t.Errorf("zero target did not pick defaults: %+v", d)
+	}
+	c := Target{MinRuns: 1, MaxRuns: 1}.Normalize()
+	if c.MinRuns < 2 || c.MaxRuns < c.MinRuns {
+		t.Errorf("clamps failed: %+v", c)
+	}
+}
+
+func TestDecisionValidate(t *testing.T) {
+	bad := []Decision{
+		{Action: ActionContinue, Next: 0},
+		{Action: ActionStop, Next: 2},
+		{Action: Action("retire")},
+		{Action: ActionStop, Round: -1},
+		{Action: ActionStop, N: -1},
+		{Action: ActionStop, RelPct: math.NaN()},
+		{Action: ActionStop, RelPct: -1},
+		{Action: ActionContinue, Next: 3, Alloc: []int{1, 1}},
+		{Action: ActionContinue, Next: 2, Alloc: []int{3, -1}},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d: %+v validated", i, d)
+		}
+	}
+	good := []Decision{
+		{Action: ActionContinue, Next: 4},
+		{Action: ActionStop, N: 8, RelPct: 2.5, Needed: 6},
+		{Action: ActionBudget, N: 64},
+		{Action: ActionPrune, N: 4, RelPct: 9},
+		{Action: ActionContinue, Next: 3, Alloc: []int{2, 0, 1}},
+	}
+	for i, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("case %d: %+v rejected: %v", i, d, err)
+		}
+	}
+}
+
+func TestNeymanAllocate(t *testing.T) {
+	// Proportional split, exact total, deterministic ties.
+	got := NeymanAllocate([]float64{3, 1}, 8)
+	if got[0]+got[1] != 8 || got[0] != 6 {
+		t.Errorf("3:1 split of 8 = %v", got)
+	}
+	// Ties break toward the lower index.
+	a := NeymanAllocate([]float64{1, 1, 1}, 4)
+	b := NeymanAllocate([]float64{1, 1, 1}, 4)
+	if !reflect.DeepEqual(a, b) || a[0] != 2 {
+		t.Errorf("tie break not deterministic-low: %v vs %v", a, b)
+	}
+	// Degenerate deviations fall back to an even split.
+	if got := NeymanAllocate([]float64{0, math.NaN(), math.Inf(1)}, 3); got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("degenerate sds: %v", got)
+	}
+	if got := NeymanAllocate(nil, 5); len(got) != 0 {
+		t.Errorf("empty sds: %v", got)
+	}
+	prop := func(s sample, totalRaw uint8) bool {
+		total := int(totalRaw)
+		sds := s.values()
+		out := NeymanAllocate(sds, total)
+		sum := 0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		if len(sds) == 0 || total <= 0 {
+			return sum == 0
+		}
+		return sum == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	tight := func(mean float64) []float64 {
+		return []float64{mean - 1, mean, mean + 1, mean}
+	}
+	// Arm 1 is clearly worse than arm 0: separated CIs, pruned.
+	flags := Prune([][]float64{tight(100), tight(200), tight(101)}, 0.95)
+	if flags[0] || !flags[1] || flags[2] {
+		t.Errorf("flags = %v", flags)
+	}
+	// Arms that cannot support an interval yet are never pruned.
+	flags = Prune([][]float64{tight(100), {5000}}, 0.95)
+	if flags[0] || flags[1] {
+		t.Errorf("insufficient arm pruned: %v", flags)
+	}
+	// No valid arm at all: nothing pruned.
+	flags = Prune([][]float64{{1}, nil}, 0.95)
+	if flags[0] || flags[1] {
+		t.Errorf("no-CI matrix pruned something: %v", flags)
+	}
+	// The best arm is never pruned, whatever the others look like.
+	prop := func(a, b, c sample) bool {
+		samples := [][]float64{a.values(), b.values(), c.values()}
+		flags := Prune(samples, 0.95)
+		best, bestMean := -1, math.Inf(1)
+		for i, xs := range samples {
+			if ci, err := stats.CI(xs, 0.95); err == nil && ci.Mean < bestMean {
+				best, bestMean = i, ci.Mean
+			}
+		}
+		return best < 0 || !flags[best]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStratifiedDecide(t *testing.T) {
+	target := Target{MinRuns: 2, MaxRuns: 8, RoundSize: 4}.Normalize()
+	// Tight strata converge immediately.
+	strata := [][]float64{{100, 100.1, 99.9}, {200, 200.1, 199.9}}
+	d := StratifiedDecide(strata, 0, target)
+	if d.Action != ActionStop {
+		t.Errorf("tight strata should stop: %+v", d)
+	}
+	if d.N != 6 {
+		t.Errorf("N should count all strata: %+v", d)
+	}
+	// A stratum below the pilot floor keeps the schedule going, and the
+	// allocation must cover every stratum with a valid split.
+	d = StratifiedDecide([][]float64{{100, 101, 99}, {50}}, 0, target)
+	if d.Action != ActionContinue {
+		t.Fatalf("underfilled stratum should continue: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid stratified decision: %v", err)
+	}
+	if len(d.Alloc) != 2 {
+		t.Fatalf("allocation missing strata: %+v", d)
+	}
+	if d.Alloc[1] == 0 {
+		t.Errorf("one-value stratum starved: %+v", d)
+	}
+	// Budget exhaustion settles.
+	full := make([]float64, target.MaxRuns)
+	for i := range full {
+		full[i] = 100 + 30*float64(i%7) // noisy: cannot converge
+	}
+	d = StratifiedDecide([][]float64{full, full}, 3, target)
+	if d.Action != ActionBudget {
+		t.Errorf("exhausted strata should settle on budget: %+v", d)
+	}
+}
+
+func TestReportFinalize(t *testing.T) {
+	rep := Report{
+		Target: Target{}.Normalize(),
+		Arms: []Arm{
+			{Experiment: "a", Executed: 4, FixedN: 20, Status: StatusConverged},
+			{Experiment: "b", Executed: 8, FixedN: 20, Status: StatusPruned},
+			{Experiment: "c", Executed: 6, FixedN: 20, Status: StatusIncomplete},
+		},
+	}
+	rep.Finalize()
+	if rep.Executed != 18 || rep.FixedN != 60 {
+		t.Errorf("totals: %+v", rep)
+	}
+	if math.Abs(rep.SavedPct-70) > 1e-9 {
+		t.Errorf("saved pct = %v", rep.SavedPct)
+	}
+	if len(rep.Pruned) != 1 || rep.Pruned[0] != "b" {
+		t.Errorf("pruned = %v", rep.Pruned)
+	}
+	if !rep.Incomplete {
+		t.Error("incomplete arm not surfaced")
+	}
+}
+
+func TestPublishLatestDeepCopies(t *testing.T) {
+	rep := Report{Target: Target{}.Normalize(), Arms: []Arm{{Experiment: "x"}}, Pruned: []string{"x"}}
+	Publish(rep)
+	got := Latest()
+	if got == nil || len(got.Arms) != 1 || got.Arms[0].Experiment != "x" {
+		t.Fatalf("Latest = %+v", got)
+	}
+	got.Arms[0].Experiment = "mutated"
+	got.Pruned[0] = "mutated"
+	again := Latest()
+	if again.Arms[0].Experiment != "x" || again.Pruned[0] != "x" {
+		t.Error("Latest returned aliased state")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	before := Read()
+	CountRound(3)
+	CountSettle(5, true)
+	CountSettle(2, false)
+	d := Read()
+	if d.Rounds-before.Rounds != 1 || d.Executed-before.Executed != 3 {
+		t.Errorf("round counters: %+v -> %+v", before, d)
+	}
+	if d.Saved-before.Saved != 7 || d.Pruned-before.Pruned != 1 {
+		t.Errorf("settle counters: %+v -> %+v", before, d)
+	}
+}

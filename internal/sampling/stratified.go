@@ -1,0 +1,99 @@
+package sampling
+
+import (
+	"varsim/internal/stats"
+)
+
+// StratifiedDecide is the stopping rule for a checkpoint-stratified
+// arm: the strata are the run samples at each time-sample checkpoint
+// (§5.2), the estimator is the equal-weight stratified mean, and the
+// decision is taken on stats.StratifiedCI's interval. Target fields
+// are read per stratum: MinRuns is the pilot floor and MaxRuns the
+// budget for *each* stratum, so an H-stratum arm spends at most
+// H·MaxRuns runs. A continuing arm's next round is split across
+// strata by Neyman allocation (Decision.Alloc, summing to
+// Decision.Next), concentrating budget where the variance lives.
+//
+// Needed scales the current total by (achieved/target)² — the
+// half-width of the stratified estimator shrinks as 1/√n under
+// proportional growth, so that ratio is the total sample the current
+// variances imply. Pure in (strata, round, t).
+func StratifiedDecide(strata [][]float64, round int, t Target) Decision {
+	t = t.Normalize()
+	h := len(strata)
+	total := 0
+	sds := make([]float64, h)
+	minN := -1
+	for i, xs := range strata {
+		total += len(xs)
+		sds[i] = stats.StdDev(xs)
+		if minN < 0 || len(xs) < minN {
+			minN = len(xs)
+		}
+	}
+	d := Decision{Round: round, N: total, Action: ActionContinue}
+	targetPct := 100 * t.RelErr
+	ci, err := stats.StratifiedCI(strata, t.Confidence)
+	converged := false
+	if err == nil && ci.Mean != 0 {
+		rel := 100 * ci.HalfWidth / ci.Mean
+		if rel < 0 {
+			rel = -rel
+		}
+		d.RelPct = rel
+		converged = rel <= targetPct
+		if !converged && rel > 0 {
+			ratio := rel / targetPct
+			d.Needed = int(float64(total)*ratio*ratio) + 1
+		}
+	}
+	switch {
+	case minN >= t.MinRuns && converged:
+		d.Action = ActionStop
+	case minN >= t.MaxRuns:
+		d.Action = ActionBudget
+	default:
+		// Rounds are sized in whole-arm terms: at least one run per
+		// stratum's worth of work, toward the implied total.
+		chunk := t.RoundSize
+		if chunk < h {
+			chunk = h
+		}
+		d.Next = nextChunk(total, d.Needed, chunk, h*t.MaxRuns)
+		d.Alloc = allocCapped(sds, strata, d.Next, t.MaxRuns)
+		// Re-sum: per-stratum caps may shrink the round.
+		n := 0
+		for _, a := range d.Alloc {
+			n += a
+		}
+		if n == 0 {
+			// Every stratum is at its cap but the pilot floor is unmet
+			// somewhere impossible by construction; settle on budget.
+			d.Alloc = nil
+			d.Next = 0
+			d.Action = ActionBudget
+		} else {
+			d.Next = n
+		}
+	}
+	return d
+}
+
+// allocCapped Neyman-allocates chunk runs across strata, then clamps
+// each stratum at its remaining budget and tops every under-pilot
+// stratum up to at least one run so the pilot floor is always reached.
+func allocCapped(sds []float64, strata [][]float64, chunk, maxRuns int) []int {
+	alloc := NeymanAllocate(sds, chunk)
+	for i := range alloc {
+		if rest := maxRuns - len(strata[i]); alloc[i] > rest {
+			alloc[i] = rest
+		}
+		if len(strata[i]) < 2 && alloc[i] < 1 && len(strata[i]) < maxRuns {
+			alloc[i] = 1 // a stratum can never be starved below a CI-able sample
+		}
+		if alloc[i] < 0 {
+			alloc[i] = 0
+		}
+	}
+	return alloc
+}

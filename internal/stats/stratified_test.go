@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestStratifiedCISingleStratumMatchesCI pins the estimator's
+// degenerate case: with one stratum the stratified mean, standard
+// error and quantile all reduce to the plain §5.1.1 interval — except
+// for the degrees of freedom, where Welch–Satterthwaite gives exactly
+// n-1, so the intervals agree to float precision.
+func TestStratifiedCISingleStratumMatchesCI(t *testing.T) {
+	xs := []float64{10.2, 10.6, 9.9, 10.4, 10.1, 10.3}
+	want, err := CI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StratifiedCI([][]float64{xs}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-9
+	if math.Abs(got.Mean-want.Mean) > tol || math.Abs(got.HalfWidth-want.HalfWidth) > tol {
+		t.Errorf("single stratum: got (%v ± %v), plain CI (%v ± %v)",
+			got.Mean, got.HalfWidth, want.Mean, want.HalfWidth)
+	}
+}
+
+// TestStratifiedCIEqualWeightMean pins the point estimate: the
+// stratified mean is the unweighted average of the per-stratum means,
+// not the pooled sample mean — strata of different sizes must not
+// drag it toward the bigger sample.
+func TestStratifiedCIEqualWeightMean(t *testing.T) {
+	strata := [][]float64{
+		{10, 12},             // mean 11
+		{20, 22, 21, 21, 21}, // mean 21, bigger sample
+	}
+	ci, err := StratifiedCI(strata, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci.Mean-16) > 1e-12 {
+		t.Errorf("stratified mean = %v, want 16 (equal stratum weights)", ci.Mean)
+	}
+}
+
+// TestStratifiedCIDegenerateStrata: all-constant strata make the
+// estimator exact — zero half-width, no quantile involved.
+func TestStratifiedCIDegenerateStrata(t *testing.T) {
+	ci, err := StratifiedCI([][]float64{{5, 5, 5}, {7, 7}}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.HalfWidth != 0 || ci.Mean != 6 {
+		t.Errorf("degenerate strata: got (%v ± %v), want (6 ± 0)", ci.Mean, ci.HalfWidth)
+	}
+}
+
+// TestStratifiedCIRejects pins the error contract: no strata and
+// single-observation strata are insufficient, non-finite observations
+// and out-of-range confidences are rejected.
+func TestStratifiedCIRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		strata [][]float64
+		conf   float64
+		want   error
+	}{
+		{"no strata", nil, 0.95, ErrInsufficientData},
+		{"one-run stratum", [][]float64{{1, 2}, {3}}, 0.95, ErrInsufficientData},
+		{"nan observation", [][]float64{{1, math.NaN()}}, 0.95, ErrNonFinite},
+		{"inf observation", [][]float64{{1, math.Inf(1)}}, 0.95, ErrNonFinite},
+		{"confidence 0", [][]float64{{1, 2}}, 0, errInvalidConfidence},
+		{"confidence 1", [][]float64{{1, 2}}, 1, errInvalidConfidence},
+		{"confidence nan", [][]float64{{1, 2}}, math.NaN(), errInvalidConfidence},
+	}
+	for _, c := range cases {
+		if _, err := StratifiedCI(c.strata, c.conf); err != c.want {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestStratifiedCINarrowerThanWorstStratum is the variance-reduction
+// property (§5.2): with equal per-stratum sizes, the stratified
+// standard error is 1/H times the root-sum of per-stratum SEs, so the
+// interval is never wider than the widest per-stratum interval.
+func TestStratifiedCINarrowerThanWorstStratum(t *testing.T) {
+	f := func(seed uint8) bool {
+		// Deterministic pseudo-samples: two strata, four runs each.
+		s := uint64(seed) + 1
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>40) / float64(1<<24)
+		}
+		strata := [][]float64{}
+		worst := 0.0
+		for h := 0; h < 2; h++ {
+			xs := make([]float64, 4)
+			for i := range xs {
+				xs[i] = 100 + 10*next()
+			}
+			ci, err := CI(xs, 0.95)
+			if err != nil {
+				return true // degenerate draw: skip
+			}
+			if ci.HalfWidth > worst {
+				worst = ci.HalfWidth
+			}
+			strata = append(strata, xs)
+		}
+		ci, err := StratifiedCI(strata, 0.95)
+		if err != nil {
+			return true
+		}
+		// Welch df can only tighten the quantile vs the per-stratum t;
+		// allow float slack.
+		return ci.HalfWidth <= worst*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

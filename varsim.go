@@ -46,6 +46,7 @@ import (
 	"varsim/internal/harness"
 	"varsim/internal/machine"
 	"varsim/internal/metrics"
+	"varsim/internal/sampling"
 	"varsim/internal/stats"
 	"varsim/internal/trace"
 	"varsim/internal/workload"
@@ -95,6 +96,27 @@ type Comparison = core.Comparison
 
 // Plan holds run-count estimates for designing an experiment.
 type Plan = core.Plan
+
+// SamplingTarget is the adaptive scheduler's stopping/pruning target:
+// requested precision, pilot size and run budgets (docs/SAMPLING.md).
+// Setting Experiment.Adaptive to one routes RunSpace through the
+// adaptive schedule.
+type SamplingTarget = sampling.Target
+
+// SamplingReport records an adaptive schedule's outcome: achieved vs
+// requested precision per arm, pruned configurations, and the runs
+// saved against the fixed-N baseline.
+type SamplingReport = sampling.Report
+
+// SamplingArm is one configuration's slice of a SamplingReport.
+type SamplingArm = sampling.Arm
+
+// AdaptiveMatrix runs a configuration matrix under a shared run budget
+// with early stopping and mid-matrix pruning (see
+// core.AdaptiveMatrix).
+func AdaptiveMatrix(es []Experiment, t SamplingTarget) ([]Space, SamplingReport, error) {
+	return core.AdaptiveMatrix(es, t)
+}
 
 // Summary holds descriptive statistics of a sample.
 type Summary = stats.Summary

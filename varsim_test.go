@@ -86,10 +86,10 @@ func TestWorkloadsListed(t *testing.T) {
 
 func TestPaperExperimentsRegistry(t *testing.T) {
 	names := PaperExperiments()
-	if len(names) != 18 {
-		t.Fatalf("want 18 experiments, got %d: %v", len(names), names)
+	if len(names) != 19 {
+		t.Fatalf("want 19 experiments, got %d: %v", len(names), names)
 	}
-	for _, want := range []string{"fig1", "table1", "table5", "anova"} {
+	for _, want := range []string{"fig1", "table1", "table5", "anova", "sampling"} {
 		found := false
 		for _, n := range names {
 			if n == want {
